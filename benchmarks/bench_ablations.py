@@ -1,0 +1,40 @@
+"""Ablations beyond the paper's figures: the design choices DESIGN.md
+calls out — trigger frequency, profile caching, static-vs-dynamic, and
+measurement-noise robustness."""
+
+from repro.bench.figures import ablations, robustness
+
+
+def test_ablations(run_once):
+    result = run_once(ablations, fast=True)
+
+    def get(experiment, variant):
+        return result.row_for(experiment=experiment, variant=variant)["seconds"]
+
+    # Per-kernel triggering costs at least as much as per-epoch batching
+    # (Section V.A: per-kernel invocation "can cause significant runtime
+    # overhead").
+    assert get("trigger frequency", "per-kernel") >= get(
+        "trigger frequency", "per-epoch (default)"
+    )
+    # Profile caching pays off for iterative workloads (Section V.C.1).
+    assert get("profile caching", "profile caching on") < get(
+        "profile caching", "profile caching off"
+    )
+    # Static hint-only placement is the speed-vs-optimality tradeoff: for
+    # BT a compute-bound hint picks the (wrong) GPU, so dynamic profiling
+    # wins despite its overhead (Section V.B).
+    assert get("static vs dynamic", "dynamic (profiled)") < get(
+        "static vs dynamic", "static (hint only)"
+    )
+
+
+def test_robustness_to_measurement_noise(run_once):
+    result = run_once(robustness, fast=True)
+    # Up to 20% measurement error, the 2.3-2.7x device gaps keep the
+    # mapping optimal for both layouts.
+    for row in result.rows:
+        if row["noise_pct"] <= 20.0:
+            assert row["optimal"], row
+    # The sweep covers both layouts at five noise levels.
+    assert len(result.rows) == 10

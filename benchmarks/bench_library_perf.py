@@ -1,0 +1,89 @@
+"""Performance benchmarks of the library itself (real wall time).
+
+Unlike the figure benches (which regenerate simulated results once), these
+measure the *Python* cost of the hot paths — the numbers a user of this
+library actually waits on: discrete-event throughput, mapper solve time,
+a full scheduled epoch, and the vectorised NPB generator.
+"""
+
+import math
+
+import pytest
+
+from repro.core.device_mapper import optimal_mapping
+from repro.sim.engine import SimEngine
+from repro.sim.resources import FifoResource
+from repro.workloads.npb import numerics
+
+
+def test_engine_event_throughput(benchmark):
+    """Throughput of the event engine: 10k chained FIFO tasks."""
+
+    def run():
+        engine = SimEngine()
+        resources = [FifoResource(engine, f"r{i}") for i in range(4)]
+        for i in range(10_000):
+            engine.task(f"t{i}", 1e-6, resource=resources[i % 4])
+        engine.run_until_idle()
+        return engine.now
+
+    result = benchmark(run)
+    assert result == pytest.approx(2.5e-3)
+
+
+def test_mapper_solve_8_queues_4_devices(benchmark):
+    """Exact mapping for a paper-scale pool (8 queues, 4 devices)."""
+    queues = [f"q{i}" for i in range(8)]
+    devices = ["cpu", "gpu0", "gpu1", "gpu2"]
+    cost = {
+        q: {d: 1.0 + ((i * 7 + j * 3) % 5) * 0.37 for j, d in enumerate(devices)}
+        for i, q in enumerate(queues)
+    }
+
+    result = benchmark(optimal_mapping, queues, devices, cost)
+    assert math.isfinite(result.makespan)
+    loads = result.device_loads(cost)
+    assert max(loads.values()) == pytest.approx(result.makespan)
+
+
+def test_full_scheduled_epoch(benchmark, tmp_path_factory):
+    """End-to-end cost of one AUTO_FIT epoch: build, profile, map, issue."""
+    from repro.core.runtime import MultiCL
+    from repro.ocl.enums import ContextScheduler, SchedFlag
+
+    profile_dir = str(tmp_path_factory.mktemp("perf-profile"))
+    src = (
+        "// @multicl flops_per_item=100 bytes_per_item=16 writes=1\n"
+        "__kernel void k(__global float* a, __global float* b, int n) { }"
+    )
+
+    def run():
+        mcl = MultiCL(policy=ContextScheduler.AUTO_FIT, profile_dir=profile_dir)
+        prog = mcl.context.create_program(src).build()
+        n = 1 << 16
+        queues = []
+        for i in range(4):
+            kern = prog.create_kernel("k")
+            a = mcl.context.create_buffer(4 * n)
+            b = mcl.context.create_buffer(4 * n)
+            kern.set_arg(0, a)
+            kern.set_arg(1, b)
+            kern.set_arg(2, n)
+            q = mcl.queue(
+                flags=SchedFlag.SCHED_AUTO_DYNAMIC | SchedFlag.SCHED_KERNEL_EPOCH
+            )
+            for _ in range(8):
+                q.enqueue_nd_range_kernel(kern, (n,), (64,))
+            queues.append(q)
+        for q in queues:
+            q.finish()
+        return mcl.now
+
+    result = benchmark(run)
+    assert result > 0
+
+
+def test_vectorised_lcg_throughput(benchmark):
+    """The O(n log n) NPB generator on a 256k stream."""
+    uniforms, _ = benchmark(numerics.vranlc_fast, 1 << 18, 271828183.0)
+    assert len(uniforms) == 1 << 18

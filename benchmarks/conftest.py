@@ -1,0 +1,27 @@
+"""Shared fixtures for the benchmark harness.
+
+Each bench regenerates one of the paper's tables/figures in fast mode and
+asserts its headline shape claim, so ``pytest benchmarks/ --benchmark-only``
+doubles as a reproduction smoke test.  Experiments share one on-disk device
+profile cache (via :mod:`repro.bench.figures`), so only the first bench
+pays for the static device profiling.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run an experiment exactly once under pytest-benchmark timing.
+
+    The experiments are deterministic simulations — repeated rounds would
+    measure the same virtual work — so a single round keeps the suite fast
+    while still recording wall-time per figure.
+    """
+
+    def _run(fn, *args, **kwargs):
+        return benchmark.pedantic(
+            fn, args=args, kwargs=kwargs, rounds=1, iterations=1, warmup_rounds=0
+        )
+
+    return _run

@@ -1,0 +1,104 @@
+#!/usr/bin/env python
+"""Plugging a custom scheduling policy into the runtime.
+
+The paper (Section I): "By providing simple modular extensions to the
+familiar OpenCL API, we enable different schedulers to be composed and
+built into an OpenCL runtime.  We do not aim to design the hypothetical
+one-size-fits-all ideal scheduling algorithm."
+
+This example registers a third policy next to ROUND_ROBIN and AUTO_FIT: a
+*locality-first* scheduler that always places a queue on whichever device
+already holds the most bytes of its working set (zero profiling, pure data
+gravity), and compares all three on a workload with pre-placed data.
+
+Run:  python examples/custom_scheduler.py
+"""
+
+from repro import ContextScheduler, MultiCL, SchedFlag
+from repro.ocl.context import Context
+from repro.ocl.memory import Buffer
+from repro.ocl.platform import Platform
+from repro.ocl.scheduling import SchedulerBase, register_scheduler
+
+PROGRAM = """
+// @multicl flops_per_item=40 bytes_per_item=32 irregularity=0.3 gpu_eff=0.4 writes=1
+__kernel void update(__global float* state, __global float* out, int n) { }
+"""
+
+N = 1 << 21
+FLAGS = SchedFlag.SCHED_AUTO_DYNAMIC | SchedFlag.SCHED_KERNEL_EPOCH
+
+
+class LocalityFirstScheduler(SchedulerBase):
+    """Place each queue where most of its data already lives.
+
+    No device profiler, no kernel profiler: the policy reads residency
+    bookkeeping only.  Fast and often good — and occasionally wrong, which
+    is exactly the tradeoff space the extension API leaves open.
+    """
+
+    def on_sync(self, pool, trigger_queue=None):
+        for q in sorted(pool, key=lambda q: q.id):
+            weight = {d: 0 for d in self.context.device_names}
+            for cmd in q.pending:
+                for v in cmd.args_snapshot.values():
+                    if isinstance(v, Buffer):
+                        for dev in v.valid_on:
+                            if dev in weight:
+                                weight[dev] += v.nbytes
+            best = max(weight, key=lambda d: (weight[d], -len(d)))
+            q.rebind(best)
+        self.context.issue_pool(pool)
+
+
+register_scheduler("locality-first", LocalityFirstScheduler)
+
+
+def run(policy) -> tuple:
+    platform = Platform()
+    from repro.ocl.enums import ContextProperty
+
+    ctx: Context = platform.create_context(
+        properties={ContextProperty.CL_CONTEXT_SCHEDULER: policy}
+    )
+    program = ctx.create_program(PROGRAM).build()
+    queues = []
+    # Pre-place each queue's state on a specific device (e.g. left over
+    # from a previous phase of the application).
+    homes = ["gpu1", "cpu", "gpu0", "gpu1"]
+    for i, home in enumerate(homes):
+        k = program.create_kernel("update")
+        state = ctx.create_buffer(8 * N, name=f"state{i}")
+        out = ctx.create_buffer(4 * N, name=f"out{i}")
+        state.mark_exclusive(home)
+        k.set_arg(0, state)
+        k.set_arg(1, out)
+        k.set_arg(2, N)
+        q = ctx.create_queue(sched_flags=FLAGS, name=f"q{i}")
+        for _ in range(3):
+            q.enqueue_nd_range_kernel(k, (N,), (128,))
+        queues.append(q)
+    t0 = platform.engine.now
+    for q in queues:
+        q.finish()
+    return {q.name: q.device for q in queues}, platform.engine.now - t0
+
+
+def main() -> None:
+    print("queues with data pre-placed on gpu1, cpu, gpu0, gpu1:\n")
+    for label, policy in (
+        ("ROUND_ROBIN", ContextScheduler.ROUND_ROBIN),
+        ("AUTO_FIT", ContextScheduler.AUTO_FIT),
+        ("locality-first (custom)", "locality-first"),
+    ):
+        mapping, secs = run(policy)
+        print(f"{label:24s} {secs * 1e3:8.2f} ms   {mapping}")
+    print(
+        "\nthe custom policy follows the data with zero profiling cost; "
+        "AUTO_FIT weighs data movement against compute and may rebalance; "
+        "round-robin ignores both."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Double buffering with out-of-order queues.
+
+A chunked upload→compute pipeline on one GPU, twice: first on a stock
+in-order queue (every command waits for its predecessor), then on an
+out-of-order queue (``CL_QUEUE_OUT_OF_ORDER_EXEC_MODE_ENABLE``) where
+chunk *i+1*'s PCIe upload overlaps chunk *i*'s kernel — the classic HPC
+latency-hiding idiom, visible directly in the simulated timeline.
+
+Run:  python examples/double_buffering.py
+"""
+
+from repro import MultiCL
+from repro.sim.export import utilization_report
+
+PROGRAM = """
+// @multicl flops_per_item=1200 bytes_per_item=4 writes=1
+__kernel void process(__global float* chunk, __global float* out, int n) {
+  float v = chunk[get_global_id(0)];
+  for (int i = 0; i < 200; ++i) v = v * 1.00001f + 1e-6f;
+  out[get_global_id(0)] = v;
+}
+"""
+
+N = 1 << 23
+CHUNKS = 6
+CHUNK_BYTES = 96 << 20
+
+
+def pipeline(mcl: MultiCL, out_of_order: bool) -> float:
+    ctx = mcl.context
+    program = ctx.create_program(PROGRAM).build()
+    q = ctx.create_queue("gpu0", out_of_order=out_of_order)
+    t0 = mcl.now
+    prev = None
+    for i in range(CHUNKS):
+        chunk = ctx.create_buffer(CHUNK_BYTES, name=f"chunk{i}")
+        out = ctx.create_buffer(4 * N, name=f"out{i}")
+        k = program.create_kernel("process")
+        k.set_arg(0, chunk)
+        k.set_arg(1, out)
+        k.set_arg(2, N)
+        upload = q.enqueue_write_buffer(chunk)
+        waits = [upload] + ([prev] if prev is not None else [])
+        prev = q.enqueue_nd_range_kernel(k, (N,), (256,), wait_events=waits)
+    q.finish()
+    return mcl.now - t0
+
+
+def main() -> None:
+    mcl = MultiCL()
+    t_in_order = pipeline(mcl, out_of_order=False)
+    t_start = mcl.now
+    t_ooo = pipeline(mcl, out_of_order=True)
+
+    print(f"{CHUNKS} chunks of {CHUNK_BYTES >> 20} MB, upload + compute each:")
+    print(f"  in-order queue:      {t_in_order * 1e3:7.1f} ms")
+    print(f"  out-of-order queue:  {t_ooo * 1e3:7.1f} ms "
+          f"({100 * (1 - t_ooo / t_in_order):.0f}% faster)")
+
+    report = utilization_report(mcl.engine.trace, t_start, mcl.now)
+    link = report.get("link:pcie-gpu0", {})
+    dev = report.get("dev:gpu0", {})
+    print("\nduring the out-of-order run:")
+    print(f"  PCIe link busy {100 * link.get('utilization', 0):.0f}% "
+          f"of the pipeline span")
+    print(f"  GPU busy       {100 * dev.get('utilization', 0):.0f}% "
+          f"of the pipeline span")
+    print("uploads and kernels overlap; only the first upload and the last "
+          "kernel are exposed.")
+
+
+if __name__ == "__main__":
+    main()

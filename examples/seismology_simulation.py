@@ -1,0 +1,39 @@
+#!/usr/bin/env python
+"""FDM-Seismology end-to-end: real physics + automatic scheduling.
+
+Runs the two-queue seismic wave simulation in *functional* mode, so the
+kernels carry the real staggered-grid solver as payloads while the
+simulated devices charge modelled time.  Compares column-major vs
+row-major layouts under AUTO_FIT and shows the per-iteration amortisation
+of the profiling cost (the paper's Figs. 9 and 10).
+
+Run:  python examples/seismology_simulation.py
+"""
+
+from repro.workloads.seismology import run_seismology
+from repro.workloads.seismology.fdm import FDMParameters, FDMSimulation
+
+
+def main() -> None:
+    steps = 30
+
+    print("=== real physics sanity (monolithic solver) ===")
+    sim = FDMSimulation(FDMParameters(nx=96, nz=96))
+    sim.run(steps)
+    print(f"after {steps} steps: energy={sim.energy():.4e}, "
+          f"peak |vx|={abs(sim.vx).max():.3e}")
+
+    print("\n=== scheduling: column-major vs row-major ===")
+    for layout in ("column", "row"):
+        run = run_seismology(layout, mode="auto", steps=steps, functional=True)
+        it = run.iteration_seconds
+        steady = sum(it[1:]) / len(it[1:])
+        print(f"{layout:6s}-major: mapping={run.bindings}  "
+              f"iter0={it[0] * 1e3:7.1f} ms  steady={steady * 1e3:7.1f} ms  "
+              f"stable={run.checks.get('stable')}")
+    print("\ncolumn-major data favours the CPU pair; row-major favours the "
+          "two GPUs — AUTO_FIT finds both without code changes.")
+
+
+if __name__ == "__main__":
+    main()

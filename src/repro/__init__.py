@@ -1,0 +1,96 @@
+"""repro — reproduction of *Automatic Command Queue Scheduling for
+Task-Parallel Workloads in OpenCL* (Aji, Peña, Balaji, Feng; IEEE CLUSTER
+2015): the **MultiCL** runtime.
+
+Layers (bottom-up):
+
+* :mod:`repro.sim` — discrete-event simulation substrate (virtual clock,
+  FIFO resources, tracing);
+* :mod:`repro.hardware` — parametric heterogeneous-node models, including
+  the paper's CPU + 2×GPU testbed;
+* :mod:`repro.ocl` — an OpenCL-1.2-style runtime layer (the "SnuCL" role)
+  with the paper's proposed API extensions;
+* :mod:`repro.core` — MultiCL itself: device profiler, kernel profiler
+  (minikernel + data caching + profile caching), exact device mapper, and
+  the ROUND_ROBIN / AUTO_FIT global policies;
+* :mod:`repro.workloads` — SNU-NPB-MD-style benchmarks and the
+  FDM-Seismology application used in the paper's evaluation;
+* :mod:`repro.bench` — the experiment harness regenerating every table and
+  figure of Section VI.
+
+Quickstart::
+
+    from repro import MultiCL, ContextScheduler, SchedFlag
+
+    mcl = MultiCL(policy=ContextScheduler.AUTO_FIT)
+    q = mcl.queue(flags=SchedFlag.SCHED_AUTO_DYNAMIC | SchedFlag.SCHED_KERNEL_EPOCH)
+    ...  # build a program, enqueue kernels, q.finish()
+"""
+
+from repro.core import (
+    AutoFitScheduler,
+    DeviceProfile,
+    MultiCL,
+    RoundRobinScheduler,
+    RunStats,
+)
+from repro.core.flags import SchedulerConfig
+from repro.cluster import ClusterSpec, two_node_cluster
+from repro.hardware import (
+    DeviceKind,
+    DeviceSpec,
+    KernelCost,
+    LinkSpec,
+    NodeSpec,
+    aji_cluster15_node,
+)
+from repro.sim.export import to_chrome_trace, utilization_report, write_chrome_trace
+from repro.ocl import (
+    Buffer,
+    CommandQueue,
+    Context,
+    ContextProperty,
+    ContextScheduler,
+    DeviceType,
+    Event,
+    Kernel,
+    Platform,
+    Program,
+    SchedFlag,
+    get_platforms,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "MultiCL",
+    "RunStats",
+    "SchedulerConfig",
+    "AutoFitScheduler",
+    "RoundRobinScheduler",
+    "DeviceProfile",
+    "DeviceKind",
+    "DeviceSpec",
+    "LinkSpec",
+    "NodeSpec",
+    "KernelCost",
+    "aji_cluster15_node",
+    "ClusterSpec",
+    "two_node_cluster",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "utilization_report",
+    "Platform",
+    "get_platforms",
+    "Context",
+    "CommandQueue",
+    "Buffer",
+    "Program",
+    "Kernel",
+    "Event",
+    "SchedFlag",
+    "ContextProperty",
+    "ContextScheduler",
+    "DeviceType",
+    "__version__",
+]

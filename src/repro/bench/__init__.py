@@ -1,0 +1,18 @@
+"""Experiment harness regenerating every table and figure of Section VI.
+
+Each experiment is a function returning an :class:`~repro.bench.harness.ExperimentResult`
+(a titled table of rows plus notes on how it maps to the paper).  Run from
+the command line::
+
+    python -m repro.bench list
+    python -m repro.bench fig4            # fast (reduced-scale) mode
+    python -m repro.bench fig4 --full     # paper-scale workloads
+    python -m repro.bench all
+
+or through the pytest-benchmark suite in ``benchmarks/``.
+"""
+
+from repro.bench.harness import ExperimentResult, format_table
+from repro.bench.figures import EXPERIMENTS, run_experiment
+
+__all__ = ["ExperimentResult", "format_table", "EXPERIMENTS", "run_experiment"]

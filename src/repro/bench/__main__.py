@@ -1,0 +1,59 @@
+"""Command-line entry point: ``python -m repro.bench <experiment> [--full]``.
+
+``list`` shows the available experiments; ``all`` runs every one.  Fast
+mode (default) uses reduced problem classes/iterations; ``--full`` runs the
+paper-scale configurations of Section VI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro.bench.figures import EXPERIMENTS, run_experiment
+
+__all__ = ["main"]
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the MultiCL paper's tables and figures "
+        "on the simulated testbed.",
+    )
+    parser.add_argument(
+        "experiment",
+        help="experiment id (fig3..fig10, table2, ablations, loc), "
+        "'all', or 'list'",
+    )
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="paper-scale workloads (slower); default is a reduced fast mode",
+    )
+    args = parser.parse_args(argv)
+
+    if args.experiment == "list":
+        for name, (_, desc) in EXPERIMENTS.items():
+            print(f"{name:10s} {desc}")
+        return 0
+
+    names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {unknown}; try 'list'", file=sys.stderr)
+        return 2
+
+    for name in names:
+        t0 = time.time()
+        result = run_experiment(name, fast=not args.full)
+        wall = time.time() - t0
+        print(result.render())
+        print(f"({name} regenerated in {wall:.1f}s wall time)\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,72 @@
+"""Result records and table formatting for the experiment harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+__all__ = ["ExperimentResult", "format_table"]
+
+
+@dataclass
+class ExperimentResult:
+    """One regenerated table/figure."""
+
+    #: experiment id, e.g. "fig4"
+    name: str
+    #: human title, e.g. "Fig. 4: SNU-NPB-MD manual vs automatic scheduling"
+    title: str
+    #: column order for printing
+    columns: List[str]
+    #: one dict per printed row
+    rows: List[Dict[str, Any]] = field(default_factory=list)
+    #: free-form commentary: paper expectation vs what we measured
+    notes: List[str] = field(default_factory=list)
+
+    def add(self, **row: Any) -> None:
+        self.rows.append(row)
+
+    def column(self, name: str) -> List[Any]:
+        return [r.get(name) for r in self.rows]
+
+    def row_for(self, **match: Any) -> Dict[str, Any]:
+        """First row whose fields match ``match`` (for assertions)."""
+        for r in self.rows:
+            if all(r.get(k) == v for k, v in match.items()):
+                return r
+        raise KeyError(f"no row matching {match} in {self.name}")
+
+    def render(self) -> str:
+        return format_table(self.title, self.columns, self.rows, self.notes)
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.001:
+            return f"{value:.3g}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(
+    title: str,
+    columns: Sequence[str],
+    rows: Sequence[Dict[str, Any]],
+    notes: Optional[Sequence[str]] = None,
+) -> str:
+    """Plain-text aligned table with a title rule and trailing notes."""
+    table = [[_fmt(r.get(c, "")) for c in columns] for r in rows]
+    widths = [
+        max(len(c), *(len(t[i]) for t in table)) if table else len(c)
+        for i, c in enumerate(columns)
+    ]
+    lines = [title, "=" * len(title)]
+    lines.append("  ".join(c.ljust(w) for c, w in zip(columns, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for t in table:
+        lines.append("  ".join(v.ljust(w) for v, w in zip(t, widths)))
+    for note in notes or ():
+        lines.append(f"note: {note}")
+    return "\n".join(lines)

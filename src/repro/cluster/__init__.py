@@ -1,0 +1,22 @@
+"""Simulated SnuCL *cluster mode*: remote accelerators in one platform.
+
+Background (paper Section II.B): "SnuCL features an optional cluster mode
+providing seamless access to remote accelerators using MPI for internode
+communications. ... Although our optimizations can be applied directly to
+the cluster mode as well, these fall out of the scope of this paper."
+
+This package builds that substrate so the claim is exercisable: a
+:class:`~repro.cluster.spec.ClusterSpec` describes several nodes joined by
+a network; :class:`~repro.cluster.topology.SimCluster` presents every
+device — local and remote — through the exact :class:`~repro.hardware.topology.SimNode`
+interface the rest of the stack consumes.  Host↔remote-device transfers
+chain a network hop (contending on the remote node's NIC) with the remote
+PCIe hop, so the *measured* device profiles automatically encode how far
+away each device is, and the unmodified MultiCL scheduler makes
+distance-aware decisions across the whole cluster.
+"""
+
+from repro.cluster.spec import ClusterSpec, two_node_cluster
+from repro.cluster.topology import SimCluster
+
+__all__ = ["ClusterSpec", "SimCluster", "two_node_cluster"]

@@ -1,0 +1,203 @@
+"""Queue→device mapping that minimises concurrent completion time.
+
+Paper Section V.A: "We use the per-queue aggregate kernel profiles and
+apply a simple dynamic programming approach to determine the ideal
+queue-device mapping that minimizes the concurrent execution time. The
+dynamic programming approach guarantees ideal queue-device mapping and,
+at the same time, incurs negligible overhead because the number of devices
+in present-day nodes is not high."
+
+The objective: given a cost matrix ``cost[q][d]`` (estimated seconds for
+queue *q*'s epoch on device *d*, including data-movement estimates), find
+the assignment of queues to devices minimising the *makespan* — the maximum
+over devices of the summed costs of the queues assigned to it (queues on
+the same device serialise; different devices run concurrently).
+
+Two exact solvers are provided:
+
+* :func:`optimal_mapping` — memoised depth-first search with
+  branch-and-bound pruning (the production path; explores a tiny fraction
+  of the space for realistic pool sizes);
+* :func:`brute_force_mapping` — exhaustive enumeration, used as the
+  reference oracle in property-based tests ("always maps command queues to
+  the optimal device combination" is an assertable claim).
+
+Infeasible pairs (e.g. the data does not fit in device memory) carry
+``math.inf`` cost.  Ties are broken toward each queue's current device (to
+avoid gratuitous migrations), then toward lower device index.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = ["MappingResult", "optimal_mapping", "brute_force_mapping", "MapperError"]
+
+
+class MapperError(RuntimeError):
+    """No feasible assignment exists."""
+
+
+@dataclass(frozen=True)
+class MappingResult:
+    """An assignment plus its predicted makespan."""
+
+    mapping: Dict[str, str]
+    makespan: float
+    explored: int = 0
+
+    def device_loads(self, cost: Mapping[str, Mapping[str, float]]) -> Dict[str, float]:
+        loads: Dict[str, float] = {}
+        for q, d in self.mapping.items():
+            loads[d] = loads.get(d, 0.0) + cost[q][d]
+        return loads
+
+
+def _validate(
+    queues: Sequence[str],
+    devices: Sequence[str],
+    cost: Mapping[str, Mapping[str, float]],
+) -> None:
+    if not queues:
+        raise MapperError("empty queue pool")
+    if not devices:
+        raise MapperError("no devices")
+    for q in queues:
+        row = cost.get(q)
+        if row is None:
+            raise MapperError(f"no cost row for queue {q!r}")
+        if all(not math.isfinite(row.get(d, math.inf)) for d in devices):
+            raise MapperError(f"queue {q!r} infeasible on every device")
+
+
+def brute_force_mapping(
+    queues: Sequence[str],
+    devices: Sequence[str],
+    cost: Mapping[str, Mapping[str, float]],
+) -> MappingResult:
+    """Exhaustive reference solver: enumerate all |D|^|Q| assignments."""
+    _validate(queues, devices, cost)
+    best: Optional[Tuple[float, Tuple[str, ...]]] = None
+    explored = 0
+    for combo in itertools.product(devices, repeat=len(queues)):
+        explored += 1
+        loads: Dict[str, float] = {}
+        feasible = True
+        for q, d in zip(queues, combo):
+            c = cost[q].get(d, math.inf)
+            if not math.isfinite(c):
+                feasible = False
+                break
+            loads[d] = loads.get(d, 0.0) + c
+        if not feasible:
+            continue
+        makespan = max(loads.values())
+        if best is None or makespan < best[0]:
+            best = (makespan, combo)
+    if best is None:
+        raise MapperError("no feasible assignment")
+    return MappingResult(
+        mapping=dict(zip(queues, best[1])), makespan=best[0], explored=explored
+    )
+
+
+def optimal_mapping(
+    queues: Sequence[str],
+    devices: Sequence[str],
+    cost: Mapping[str, Mapping[str, float]],
+    preferred: Optional[Mapping[str, str]] = None,
+) -> MappingResult:
+    """Exact makespan-minimising assignment with pruning.
+
+    ``preferred`` maps queue → its current device; among equal-makespan
+    solutions the one keeping more queues on their preferred device (and
+    then using lexicographically earlier devices) wins, avoiding pointless
+    migrations.
+    """
+    _validate(queues, devices, cost)
+    preferred = dict(preferred or {})
+    # Order queues by decreasing best-case cost: placing the expensive,
+    # constrained queues first makes pruning effective.
+    order = sorted(
+        queues,
+        key=lambda q: -min(cost[q].get(d, math.inf) for d in devices),
+    )
+    n = len(order)
+    dev_index = {d: i for i, d in enumerate(devices)}
+
+    best_makespan = math.inf
+    best_assign: Optional[List[str]] = None
+    best_score: Tuple[int, float, Tuple[int, ...]] = (0, 0.0, ())
+    explored = 0
+    loads: Dict[str, float] = {d: 0.0 for d in devices}
+    assign: List[str] = [""] * n
+    seen: Dict[Tuple[int, Tuple[float, ...]], float] = {}
+
+    def tie_score(assignment: Sequence[str]) -> Tuple[int, float, Tuple[int, ...]]:
+        """Among equal-makespan assignments prefer, in order: fewer
+        migrations away from current bindings; better load balance (lower
+        sum of squared device loads — so idle twins get used); and finally
+        a deterministic device order."""
+        migrations = sum(
+            1 for q, d in zip(order, assignment) if preferred.get(q) not in (None, d)
+        )
+        balance = sum(v * v for v in loads.values())
+        return (migrations, balance, tuple(dev_index[d] for d in assignment))
+
+    def rec(i: int, current_max: float) -> None:
+        nonlocal best_makespan, best_assign, best_score, explored
+        if current_max > best_makespan:
+            return
+        if i == n:
+            score = tie_score(assign)
+            if current_max < best_makespan or (
+                current_max == best_makespan
+                and (best_assign is None or score < best_score)
+            ):
+                best_makespan = current_max
+                best_assign = list(assign)
+                best_score = score
+            return
+        # Memoisation on (queue index, per-device load vector): identical
+        # residual subproblems cannot improve — this is the "dynamic
+        # programming" over partial load states.  The vector keeps device
+        # identity (costs are device-dependent, so sorting loads would
+        # conflate genuinely different states).
+        state = (i, tuple(loads[d] for d in devices))
+        prev = seen.get(state)
+        # Strict inequality: a revisit at *equal* makespan must still be
+        # explored, or the migration-avoiding tie-break could be pruned
+        # away (leaving, e.g., two queues piled on one GPU while its twin
+        # idles, despite equal makespan).
+        if prev is not None and prev < current_max:
+            return
+        seen[state] = current_max
+        q = order[i]
+        # Try the preferred device first so ties resolve without migration.
+        cand = sorted(
+            devices,
+            key=lambda d: (d != preferred.get(q), dev_index[d]),
+        )
+        for d in cand:
+            c = cost[q].get(d, math.inf)
+            if not math.isfinite(c):
+                continue
+            explored += 1
+            assign[i] = d
+            loads[d] += c
+            rec(i + 1, max(current_max, loads[d]))
+            loads[d] -= c
+            assign[i] = ""
+        return
+
+    rec(0, 0.0)
+    if best_assign is None:
+        raise MapperError("no feasible assignment")
+    return MappingResult(
+        mapping=dict(zip(order, best_assign)),
+        makespan=best_makespan,
+        explored=explored,
+    )

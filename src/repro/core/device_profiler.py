@@ -1,0 +1,228 @@
+"""Static device profiler (paper Section V.A).
+
+Invoked once at platform discovery.  On a cache miss it runs SHOC-style
+microbenchmarks *through the simulator* — host↔device bandwidth sweeps over
+data sizes from latency-bound (1 KB) to bandwidth-bound (256 MB), plus
+instruction-throughput and memory-bandwidth kernels — and caches the
+measured metrics on disk (:mod:`repro.core.profile_store`).  Bandwidth
+numbers for unknown sizes are interpolated.
+
+Note a deliberate fidelity point: the *scheduler* never reads the hardware
+specs directly.  It sees only what these benchmarks measured, exactly like
+the real MultiCL.  (In the simulator the measurements are noise-free, so
+"measured" and "true" coincide; an optional ``noise`` parameter perturbs
+measurements deterministically for robustness experiments.)
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.hardware.cost import KernelCost
+from repro.ocl.platform import Platform
+from repro.core import profile_store
+
+__all__ = ["BandwidthCurve", "DeviceProfile", "measure", "get_or_measure"]
+
+#: Transfer sizes swept by the bandwidth benchmarks: 1 KB → 256 MB.
+BENCH_SIZES: Tuple[int, ...] = tuple(1024 * 4**i for i in range(10))
+
+#: Work in the instruction-throughput benchmark (FLOPs).
+_THROUGHPUT_FLOPS = 4e9
+#: Traffic in the memory-bandwidth benchmark (bytes).
+_BANDWIDTH_BYTES = 2e9
+
+
+@dataclass
+class BandwidthCurve:
+    """Measured (size, seconds) samples with interpolation.
+
+    Between samples we interpolate linearly in size (samples are geometric,
+    so this is accurate); beyond the largest sample we extrapolate with the
+    asymptotic bandwidth of the last two samples.
+    """
+
+    sizes: List[int] = field(default_factory=list)
+    seconds: List[float] = field(default_factory=list)
+
+    def add(self, size: int, t: float) -> None:
+        self.sizes.append(int(size))
+        self.seconds.append(float(t))
+
+    def seconds_for(self, nbytes: int) -> float:
+        if not self.sizes:
+            raise ValueError("empty bandwidth curve")
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        sizes = np.asarray(self.sizes, dtype=float)
+        secs = np.asarray(self.seconds, dtype=float)
+        if nbytes <= sizes[0]:
+            # Latency-bound region: time barely depends on size.
+            return float(secs[0] * max(nbytes, 1) / sizes[0]) if nbytes else 0.0
+        if nbytes >= sizes[-1]:
+            if len(sizes) >= 2:
+                bw = (sizes[-1] - sizes[-2]) / max(secs[-1] - secs[-2], 1e-15)
+            else:
+                bw = sizes[-1] / secs[-1]
+            return float(secs[-1] + (nbytes - sizes[-1]) / bw)
+        return float(np.interp(nbytes, sizes, secs))
+
+    def bandwidth_gbs(self, nbytes: Optional[int] = None) -> float:
+        """Effective bandwidth at ``nbytes`` (default: the largest sample)."""
+        n = int(nbytes) if nbytes is not None else self.sizes[-1]
+        t = self.seconds_for(n)
+        return n / t / 1e9 if t > 0 else math.inf
+
+    def to_dict(self) -> Dict:
+        return {"sizes": list(self.sizes), "seconds": list(self.seconds)}
+
+    @staticmethod
+    def from_dict(d: Dict) -> "BandwidthCurve":
+        return BandwidthCurve(list(d["sizes"]), list(d["seconds"]))
+
+
+@dataclass
+class DeviceProfile:
+    """The static per-node profile consumed by the scheduler."""
+
+    node_name: str
+    gflops: Dict[str, float] = field(default_factory=dict)
+    bandwidth_gbs: Dict[str, float] = field(default_factory=dict)
+    h2d: Dict[str, BandwidthCurve] = field(default_factory=dict)
+    d2h: Dict[str, BandwidthCurve] = field(default_factory=dict)
+    #: measured per-launch fixed cost (empty-kernel benchmark); the kernel
+    #: profiler subtracts it before scaling minikernel measurements.
+    launch_overhead_s: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def devices(self) -> List[str]:
+        return sorted(self.gflops)
+
+    # -- transfer estimates ------------------------------------------------
+    def h2d_seconds(self, device: str, nbytes: int) -> float:
+        return self.h2d[device].seconds_for(nbytes)
+
+    def d2h_seconds(self, device: str, nbytes: int) -> float:
+        return self.d2h[device].seconds_for(nbytes)
+
+    def d2d_seconds(self, src: str, dst: str, nbytes: int) -> float:
+        """Staged D2H + H2D through host memory (Section V.C.3)."""
+        if src == dst:
+            return 0.0
+        return self.d2h_seconds(src, nbytes) + self.h2d_seconds(dst, nbytes)
+
+    # -- serialisation -----------------------------------------------------
+    def to_dict(self) -> Dict:
+        return {
+            "node_name": self.node_name,
+            "gflops": dict(self.gflops),
+            "bandwidth_gbs": dict(self.bandwidth_gbs),
+            "h2d": {k: v.to_dict() for k, v in self.h2d.items()},
+            "d2h": {k: v.to_dict() for k, v in self.d2h.items()},
+            "launch_overhead_s": dict(self.launch_overhead_s),
+        }
+
+    @staticmethod
+    def from_dict(d: Dict) -> "DeviceProfile":
+        return DeviceProfile(
+            node_name=d["node_name"],
+            gflops={k: float(v) for k, v in d["gflops"].items()},
+            bandwidth_gbs={k: float(v) for k, v in d["bandwidth_gbs"].items()},
+            h2d={k: BandwidthCurve.from_dict(v) for k, v in d["h2d"].items()},
+            d2h={k: BandwidthCurve.from_dict(v) for k, v in d["d2h"].items()},
+            launch_overhead_s={
+                k: float(v) for k, v in d.get("launch_overhead_s", {}).items()
+            },
+        )
+
+
+def measure(platform: Platform, noise: float = 0.0) -> DeviceProfile:
+    """Run the microbenchmarks on ``platform``'s simulated node.
+
+    Charges simulated time (the benchmarks really execute on the event
+    engine), which is the cost the paper ascribes to a cold profile cache.
+    ``noise`` (fraction, e.g. 0.02) perturbs measurements deterministically.
+    """
+    node = platform.node
+    engine = platform.engine
+    rng = np.random.default_rng(0xC15)
+    profile = DeviceProfile(node_name=platform.spec.name)
+
+    def _noisy(t: float) -> float:
+        if noise <= 0.0:
+            return t
+        return t * float(1.0 + rng.uniform(-noise, noise))
+
+    for dev in node.device_list():
+        name = dev.name
+        h2d_curve = BandwidthCurve()
+        d2h_curve = BandwidthCurve()
+        for size in BENCH_SIZES:
+            t0 = engine.now
+            task = node.submit_h2d(name, size, category="devprofile")
+            engine.run_until(task)
+            h2d_curve.add(size, _noisy(engine.now - t0))
+            t0 = engine.now
+            task = node.submit_d2h(name, size, category="devprofile")
+            engine.run_until(task)
+            d2h_curve.add(size, _noisy(engine.now - t0))
+        profile.h2d[name] = h2d_curve
+        profile.d2h[name] = d2h_curve
+
+        # Instruction-throughput benchmark: compute-dominated kernel.
+        flops_cost = KernelCost(
+            flops=_THROUGHPUT_FLOPS,
+            bytes=_THROUGHPUT_FLOPS / 1e3,
+            work_items=dev.spec.saturation_work_items * 4,
+            workgroup_size=64,
+        )
+        t0 = engine.now
+        task = dev.submit_kernel("devprofile-flops", flops_cost, category="devprofile")
+        engine.run_until(task)
+        profile.gflops[name] = _noisy(_THROUGHPUT_FLOPS / (engine.now - t0) / 1e9)
+
+        # Memory-bandwidth benchmark: traffic-dominated kernel.
+        bw_cost = KernelCost(
+            flops=_BANDWIDTH_BYTES / 1e3,
+            bytes=_BANDWIDTH_BYTES,
+            work_items=dev.spec.saturation_work_items * 4,
+            workgroup_size=64,
+        )
+        t0 = engine.now
+        task = dev.submit_kernel("devprofile-bw", bw_cost, category="devprofile")
+        engine.run_until(task)
+        profile.bandwidth_gbs[name] = _noisy(
+            _BANDWIDTH_BYTES / (engine.now - t0) / 1e9
+        )
+
+        # Launch-overhead benchmark: an (almost) empty kernel; the measured
+        # time is the fixed per-launch cost.
+        empty_cost = KernelCost(flops=1.0, bytes=0.0, work_items=64, workgroup_size=64)
+        t0 = engine.now
+        task = dev.submit_kernel("devprofile-launch", empty_cost, category="devprofile")
+        engine.run_until(task)
+        profile.launch_overhead_s[name] = _noisy(engine.now - t0)
+    return profile
+
+
+def get_or_measure(
+    platform: Platform,
+    cache_dir: Optional[str] = None,
+    noise: float = 0.0,
+) -> DeviceProfile:
+    """Cache-aware profile retrieval (the clGetPlatformIds hook).
+
+    In practice "the runtime just reads the device profiles from the profile
+    cache once at the beginning of the program" — only a first-ever run on a
+    given node configuration pays for the benchmarks.
+    """
+    cached = profile_store.load_profile_dict(platform.spec, cache_dir)
+    if cached is not None:
+        return DeviceProfile.from_dict(cached)
+    profile = measure(platform, noise=noise)
+    profile_store.save_profile_dict(platform.spec, profile.to_dict(), cache_dir)
+    return profile

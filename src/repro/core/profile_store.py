@@ -1,0 +1,115 @@
+"""On-disk cache for static device profiles.
+
+The paper (Section V.A): "the device profiler ... retrieves the static
+device profile from the profile cache.  If the profile cache does not
+exist, then the runtime runs data bandwidth and instruction throughput
+benchmarks and caches the measured metrics as static per-device profiles
+in the user's file system.  The profile cache location can be controlled
+by environment variables.  The benchmarks are run again only if the
+system configuration changes."
+
+We store one JSON file per node configuration.  The file name embeds a
+fingerprint of the node spec, so adding/removing/retuning devices — a
+"system configuration change" — naturally misses the cache and re-runs the
+microbenchmarks.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+from repro.hardware.specs import NodeSpec
+
+__all__ = [
+    "PROFILE_CACHE_ENV",
+    "default_cache_dir",
+    "node_fingerprint",
+    "cache_path",
+    "load_profile_dict",
+    "save_profile_dict",
+    "clear_cache",
+]
+
+#: Environment variable overriding the profile cache directory.
+PROFILE_CACHE_ENV = "MULTICL_PROFILE_CACHE"
+
+
+def default_cache_dir() -> Path:
+    """Resolve the cache directory (env var, else ``~/.cache/multicl``)."""
+    env = os.environ.get(PROFILE_CACHE_ENV)
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "multicl"
+
+
+def node_fingerprint(spec: NodeSpec) -> str:
+    """Stable hash of everything scheduling-relevant about the node."""
+    payload = json.dumps(_spec_to_jsonable(spec), sort_keys=True)
+    return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+
+def _spec_to_jsonable(spec: NodeSpec) -> Dict[str, Any]:
+    return {
+        "name": spec.name,
+        "devices": [
+            {**dataclasses.asdict(d), "kind": d.kind.value} for d in spec.devices
+        ],
+        "host_links": {
+            k: dataclasses.asdict(v) for k, v in sorted(spec.host_links.items())
+        },
+    }
+
+
+def cache_path(spec: NodeSpec, cache_dir: Optional[str] = None) -> Path:
+    base = Path(cache_dir) if cache_dir else default_cache_dir()
+    return base / f"device-profile-{spec.name}-{node_fingerprint(spec)}.json"
+
+
+def load_profile_dict(
+    spec: NodeSpec, cache_dir: Optional[str] = None
+) -> Optional[Dict[str, Any]]:
+    """Load the cached profile for ``spec``, or None on a cache miss.
+
+    A corrupt cache file is treated as a miss (and will be overwritten by
+    the next save), matching the robustness a production runtime needs.
+    """
+    path = cache_path(spec, cache_dir)
+    if not path.exists():
+        return None
+    try:
+        with path.open("r") as fh:
+            data = json.load(fh)
+    except (json.JSONDecodeError, OSError):
+        return None
+    if data.get("fingerprint") != node_fingerprint(spec):
+        return None
+    return data
+
+
+def save_profile_dict(
+    spec: NodeSpec, payload: Dict[str, Any], cache_dir: Optional[str] = None
+) -> Path:
+    """Persist a measured profile; returns the file path."""
+    path = cache_path(spec, cache_dir)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = dict(payload)
+    payload["fingerprint"] = node_fingerprint(spec)
+    tmp = path.with_suffix(".tmp")
+    with tmp.open("w") as fh:
+        json.dump(payload, fh, indent=1, sort_keys=True)
+    tmp.replace(path)
+    return path
+
+
+def clear_cache(spec: NodeSpec, cache_dir: Optional[str] = None) -> bool:
+    """Delete the cached profile for ``spec``; True if one existed."""
+    path = cache_path(spec, cache_dir)
+    if path.exists():
+        path.unlink()
+        return True
+    return False

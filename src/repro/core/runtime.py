@@ -1,0 +1,165 @@
+"""High-level MultiCL facade and run accounting.
+
+The raw layers (:mod:`repro.ocl` + :mod:`repro.core.scheduler`) expose the
+paper's API surface faithfully; this module adds the conveniences every
+example, test and benchmark needs:
+
+* :class:`MultiCL` — one object that builds a simulated platform, a context
+  with the requested global policy, and command queues, and measures runs;
+* :class:`RunStats` — a per-run accounting record derived from the engine
+  trace: where virtual time went (application kernels vs profiling kernels
+  vs data staging vs mapping), and how kernels were distributed over
+  devices (the paper's Fig. 5 view).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.core.flags import CONFIG_PROPERTY_KEY, SchedulerConfig
+from repro.hardware.specs import NodeSpec
+from repro.ocl.context import Context
+from repro.ocl.enums import ContextProperty, ContextScheduler, SchedFlag
+from repro.ocl.platform import Platform
+from repro.ocl.queue import CommandQueue
+from repro.sim.trace import Trace
+
+__all__ = ["RunStats", "MultiCL"]
+
+#: Trace categories that constitute scheduling overhead.
+OVERHEAD_CATEGORIES = ("profile-kernel", "profile-transfer", "profile-join", "schedule")
+#: Trace categories that constitute application work.
+APP_CATEGORIES = ("kernel", "transfer", "migration")
+
+
+@dataclass
+class RunStats:
+    """Accounting for one measured region of a simulated run."""
+
+    duration: float
+    #: total busy seconds per trace category
+    by_category: Dict[str, float] = field(default_factory=dict)
+    #: application kernel seconds per device resource
+    kernel_seconds_by_device: Dict[str, float] = field(default_factory=dict)
+    #: application kernel counts per device resource
+    kernel_count_by_device: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def profiling_seconds(self) -> float:
+        """Busy time attributable to the scheduler (not wall time)."""
+        return sum(self.by_category.get(c, 0.0) for c in OVERHEAD_CATEGORIES)
+
+    @property
+    def profile_transfer_seconds(self) -> float:
+        return self.by_category.get("profile-transfer", 0.0)
+
+    @property
+    def profile_kernel_seconds(self) -> float:
+        return self.by_category.get("profile-kernel", 0.0)
+
+    def kernel_distribution(self) -> Dict[str, float]:
+        """Fraction of application kernels executed per device (Fig. 5)."""
+        total = sum(self.kernel_count_by_device.values())
+        if total == 0:
+            return {}
+        return {
+            dev: n / total for dev, n in sorted(self.kernel_count_by_device.items())
+        }
+
+    @staticmethod
+    def from_trace(trace: Trace, t0: float, t1: float) -> "RunStats":
+        by_cat: Dict[str, float] = {}
+        ksec: Dict[str, float] = {}
+        kcnt: Dict[str, int] = {}
+        for iv in trace:
+            if not (t0 <= iv.start < t1):
+                continue
+            by_cat[iv.category] = by_cat.get(iv.category, 0.0) + iv.duration
+            if iv.category == "kernel" and iv.resource.startswith("dev:"):
+                dev = iv.resource[len("dev:"):]
+                ksec[dev] = ksec.get(dev, 0.0) + iv.duration
+                kcnt[dev] = kcnt.get(dev, 0) + 1
+        return RunStats(
+            duration=t1 - t0,
+            by_category=by_cat,
+            kernel_seconds_by_device=ksec,
+            kernel_count_by_device=kcnt,
+        )
+
+
+class MultiCL:
+    """Convenience wrapper: platform + context + measurement.
+
+    Parameters
+    ----------
+    node_spec:
+        Node to simulate (default: the paper's testbed).
+    policy:
+        Global scheduling policy, or ``None`` for a manual (stock OpenCL)
+        context.
+    config:
+        Runtime :class:`~repro.core.flags.SchedulerConfig` (ablation knobs).
+    profile_dir:
+        Device-profile cache directory (tests pass a tmp dir).
+    """
+
+    def __init__(
+        self,
+        node_spec: Optional[NodeSpec] = None,
+        policy: Optional[ContextScheduler] = None,
+        config: Optional[SchedulerConfig] = None,
+        profile_dir: Optional[str] = None,
+    ) -> None:
+        self.platform = Platform(node_spec, profile=True, profile_dir=profile_dir)
+        properties: Dict = {}
+        if policy is not None:
+            properties[ContextProperty.CL_CONTEXT_SCHEDULER] = policy
+        if config is not None:
+            properties[CONFIG_PROPERTY_KEY] = config
+        self.context: Context = self.platform.create_context(properties=properties)
+        self._marks: List[float] = []
+
+    # ------------------------------------------------------------------
+    # Object helpers
+    # ------------------------------------------------------------------
+    @property
+    def engine(self):
+        return self.platform.engine
+
+    @property
+    def now(self) -> float:
+        return self.platform.engine.now
+
+    @property
+    def device_names(self) -> Sequence[str]:
+        return self.context.device_names
+
+    def queue(
+        self,
+        device: Optional[str] = None,
+        flags: SchedFlag = SchedFlag.SCHED_OFF,
+        name: Optional[str] = None,
+    ) -> CommandQueue:
+        return self.context.create_queue(device, flags, name=name)
+
+    # ------------------------------------------------------------------
+    # Measurement
+    # ------------------------------------------------------------------
+    def measure(self, fn: Callable[[], None]) -> RunStats:
+        """Run ``fn`` (which should end fully synchronised) and account the
+        simulated time it spanned."""
+        t0 = self.now
+        fn()
+        self.context.finish_all()
+        t1 = self.now
+        return RunStats.from_trace(self.engine.trace, t0, t1)
+
+    def stats_between(self, t0: float, t1: float) -> RunStats:
+        return RunStats.from_trace(self.engine.trace, t0, t1)
+
+    def scheduler_mappings(self) -> List[Dict[str, str]]:
+        """Device mappings chosen at each scheduler trigger."""
+        sched = self.context.scheduler
+        history = getattr(sched, "mapping_history", None)
+        return list(history) if history else []

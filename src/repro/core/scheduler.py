@@ -1,0 +1,241 @@
+"""Global scheduling policies: ROUND_ROBIN and AUTO_FIT (paper Section IV.A).
+
+Both policies operate on the *ready-queue pool* — the automatically
+scheduled queues holding deferred commands at a synchronization trigger —
+and leave every pooled queue bound to a device with its commands issued.
+
+* :class:`RoundRobinScheduler` assigns queues to the next available device
+  cyclically.  "This approach is expected to cause the least overhead but
+  not always produce the optimal queue-device map."  Device enumeration
+  follows SnuCL's platform order, accelerators first — which is why the
+  paper's round-robin splits the two FDM-Seismology queues across the two
+  GPUs.
+* :class:`AutoFitScheduler` "decides the most optimal queue-device mapping
+  when the scheduler is triggered": dynamic queues are profiled
+  (:mod:`repro.core.kernel_profiler`), their aggregate cost combined with
+  data-transfer estimates derived from the static device profiles, and the
+  pool is mapped by the exact makespan minimiser
+  (:mod:`repro.core.device_mapper`).  Static queues (``SCHED_AUTO_STATIC``)
+  skip kernel profiling entirely and are placed from the device profiles
+  and the queue's workload hints alone (Section V.B).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, TYPE_CHECKING
+
+from repro.core.device_mapper import optimal_mapping
+from repro.core.flags import CONFIG_PROPERTY_KEY, ScheduleOptions, SchedulerConfig
+from repro.core.kernel_profiler import KernelProfiler
+from repro.core.minikernel import transform_program
+from repro.hardware.specs import DeviceKind
+from repro.ocl.enums import ContextScheduler
+from repro.ocl.memory import HOST, Buffer
+from repro.ocl.scheduling import SchedulerBase, register_scheduler
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.ocl.context import Context
+    from repro.ocl.program import Program
+    from repro.ocl.queue import Command, CommandQueue
+
+__all__ = ["RoundRobinScheduler", "AutoFitScheduler"]
+
+
+def _snucl_device_order(context: "Context") -> List[str]:
+    """Device enumeration order: accelerators/GPUs first, CPUs last."""
+    node = context.platform.node
+    rank = {DeviceKind.ACCELERATOR: 0, DeviceKind.GPU: 0, DeviceKind.CPU: 1}
+    names = list(context.device_names)
+    return sorted(names, key=lambda n: (rank[node.device(n).spec.kind], names.index(n)))
+
+
+class MultiCLSchedulerBase(SchedulerBase):
+    """Shared machinery: config resolution, minikernel build hook, history."""
+
+    def __init__(self, context: "Context") -> None:
+        super().__init__(context)
+        cfg = context.properties.get(CONFIG_PROPERTY_KEY)
+        if cfg is None:
+            cfg = SchedulerConfig.from_env()
+        elif not isinstance(cfg, SchedulerConfig):
+            raise TypeError(
+                f"context property {CONFIG_PROPERTY_KEY!r} must be a "
+                f"SchedulerConfig, got {type(cfg).__name__}"
+            )
+        self.config = cfg
+        self.profiler = KernelProfiler(context, cfg)
+        #: One entry per trigger: {queue name: device name}.
+        self.mapping_history: List[Dict[str, str]] = []
+
+    # -- static kernel transformation (clBuildProgram hook) ---------------
+    def on_program_build(self, program: "Program") -> None:
+        if not self.config.allow_minikernel:
+            return
+        src, infos = transform_program(program.source)
+        program.minikernel_source = src
+        program.minikernel_infos = infos
+
+    # -- per-kernel trigger mode ------------------------------------------
+    def on_enqueue(self, queue: "CommandQueue", command: "Command") -> None:
+        if self.config.per_kernel_trigger and command.is_kernel:
+            # High-frequency mode: schedule immediately on every kernel
+            # (the costly alternative discussed in Section V.A).
+            self.on_sync([queue], trigger_queue=queue)
+
+    # -- helpers -----------------------------------------------------------
+    def _record(self, pool: Sequence["CommandQueue"]) -> None:
+        self.mapping_history.append({q.name: q.device for q in pool})
+
+    def _issue(self, pool: Sequence["CommandQueue"]) -> None:
+        self.context.issue_pool(pool)
+
+
+class RoundRobinScheduler(MultiCLSchedulerBase):
+    """Cyclic queue→device assignment; zero profiling overhead."""
+
+    def __init__(self, context: "Context") -> None:
+        super().__init__(context)
+        self._cursor = 0
+        self._assigned: Dict[int, str] = {}
+
+    def on_sync(
+        self,
+        pool: Sequence["CommandQueue"],
+        trigger_queue: Optional["CommandQueue"] = None,
+    ) -> None:
+        order = _snucl_device_order(self.context)
+        for q in sorted(pool, key=lambda q: q.id):
+            # Each queue gets the next available device once; later triggers
+            # keep the binding (re-assigning every epoch would thrash data
+            # across devices, which round-robin cannot reason about).
+            dev = self._assigned.get(q.id)
+            if dev is None:
+                dev = order[self._cursor % len(order)]
+                self._assigned[q.id] = dev
+                self._cursor += 1
+            q.rebind(dev)
+        self._record(pool)
+        self._issue(pool)
+
+
+class AutoFitScheduler(MultiCLSchedulerBase):
+    """Profile-driven optimal mapping of the ready-queue pool."""
+
+    def on_sync(
+        self,
+        pool: Sequence["CommandQueue"],
+        trigger_queue: Optional["CommandQueue"] = None,
+    ) -> None:
+        pool = sorted(pool, key=lambda q: q.id)
+        static_qs = [
+            q for q in pool if ScheduleOptions.from_flags(q.sched_flags).is_static_mode
+        ]
+        dynamic_qs = [q for q in pool if q not in static_qs]
+        if static_qs:
+            self._map_static(static_qs)
+        if dynamic_qs:
+            self._map_dynamic(dynamic_qs)
+        self._record(pool)
+        self._issue(pool)
+
+    # ------------------------------------------------------------------
+    # Static mapping: device profiles + hints only (Section V.B)
+    # ------------------------------------------------------------------
+    def _map_static(self, queues: Sequence["CommandQueue"]) -> None:
+        profile = self.context.platform.device_profile
+        loads: Dict[str, float] = {d: 0.0 for d in self.context.device_names}
+        for q in queues:
+            options = ScheduleOptions.from_flags(q.sched_flags)
+            scores = self._hint_scores(options, profile)
+            # Greedy balance: unit work 1/score; pick the device finishing
+            # this queue earliest.
+            best = min(
+                scores,
+                key=lambda d: (loads[d] + 1.0 / scores[d], self.context.device_names.index(d)),
+            )
+            loads[best] += 1.0 / scores[best]
+            q.rebind(best)
+
+    def _hint_scores(self, options: ScheduleOptions, profile) -> Dict[str, float]:
+        devices = list(self.context.device_names)
+        if options.io_bound:
+            return {d: 1.0 / max(profile.h2d_seconds(d, 1 << 20), 1e-12) for d in devices}
+        if options.memory_bound:
+            return {d: profile.bandwidth_gbs[d] for d in devices}
+        # compute_bound, or no hint: instruction throughput is the criterion.
+        return {d: profile.gflops[d] for d in devices}
+
+    # ------------------------------------------------------------------
+    # Dynamic mapping: kernel profiling + exact mapper (Section V.C)
+    # ------------------------------------------------------------------
+    def _map_dynamic(self, queues: Sequence["CommandQueue"]) -> None:
+        profile = self.context.platform.device_profile
+        devices = list(self.context.device_names)
+        cost: Dict[str, Dict[str, float]] = {}
+        for q in queues:
+            options = ScheduleOptions.from_flags(q.sched_flags)
+            epoch = self.profiler.profile_epoch(q, q.pending, options)
+            row: Dict[str, float] = {}
+            for d in devices:
+                if not self._fits(q, d):
+                    row[d] = math.inf
+                    continue
+                row[d] = epoch.seconds[d] + self._transfer_estimate(q, d, profile)
+            cost[q.name] = row
+        preferred = {q.name: q.device for q in queues}
+        result = optimal_mapping([q.name for q in queues], devices, cost, preferred)
+        # The mapping computation itself is host work (Section V.A: the DP
+        # "incurs negligible overhead").
+        self.context.platform.engine.elapse(
+            self.config.mapping_host_seconds, category="schedule", name="device-map"
+        )
+        for q in queues:
+            q.rebind(result.mapping[q.name])
+
+    def _epoch_buffers(self, q: "CommandQueue") -> List[Buffer]:
+        out: List[Buffer] = []
+        seen = set()
+        for cmd in q.pending:
+            values = list(cmd.args_snapshot.values())
+            if cmd.buffer is not None:
+                values.append(cmd.buffer)
+            for v in values:
+                if isinstance(v, Buffer) and id(v) not in seen:
+                    seen.add(id(v))
+                    out.append(v)
+        return out
+
+    def _fits(self, q: "CommandQueue", device: str) -> bool:
+        spec = self.context.platform.node.device(device).spec
+        resident = sum(
+            b.nbytes for b in self.context.buffers if b.resident_on(device)
+        )
+        incoming = sum(
+            b.nbytes
+            for b in self._epoch_buffers(q)
+            if not b.resident_on(device)
+        )
+        return resident + incoming <= spec.mem_size_bytes
+
+    def _transfer_estimate(self, q: "CommandQueue", device: str, profile) -> float:
+        """Estimated data movement to run this epoch on ``device``, derived
+        from the *measured* device profiles (not the ground-truth model)."""
+        total = 0.0
+        for buf in self._epoch_buffers(q):
+            if not buf.initialized or buf.is_valid_on(device):
+                continue
+            if buf.is_valid_on(HOST):
+                total += profile.h2d_seconds(device, buf.nbytes)
+            else:
+                src = buf.any_valid_device()
+                if src is not None:
+                    total += profile.d2d_seconds(src, device, buf.nbytes)
+        return total
+
+
+# ---------------------------------------------------------------------------
+# Register with the OpenCL layer
+# ---------------------------------------------------------------------------
+register_scheduler(ContextScheduler.ROUND_ROBIN, RoundRobinScheduler)
+register_scheduler(ContextScheduler.AUTO_FIT, AutoFitScheduler)

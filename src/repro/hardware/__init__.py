@@ -1,0 +1,49 @@
+"""Simulated heterogeneous node substrate.
+
+The paper evaluates on a dual-socket AMD Opteron 6134 node with two NVIDIA
+Tesla C2050 GPUs (Section VI.A).  No such hardware (nor any OpenCL driver)
+is available here, so this package provides a parametric model of a
+heterogeneous compute node:
+
+* :mod:`repro.hardware.specs` — frozen dataclasses describing devices,
+  transfer links, and whole nodes;
+* :mod:`repro.hardware.cost` — a roofline-style kernel cost model with
+  device-kind sensitivity knobs (branch divergence, memory irregularity,
+  occupancy saturation);
+* :mod:`repro.hardware.topology` — binds a node spec to the discrete-event
+  engine: device execution resources, host↔device transfer links (including
+  device-to-device staging through host memory, as the paper's Section V.C.3
+  requires), and intra-device copies;
+* :mod:`repro.hardware.presets` — ready-made nodes, including
+  :func:`~repro.hardware.presets.aji_cluster15_node`, calibrated to the
+  paper's testbed.
+
+Scheduling decisions in MultiCL depend only on *relative* device
+characteristics (which device is faster for which kernel, and what data
+movement costs), which is exactly what these models encode.
+"""
+
+from repro.hardware.specs import DeviceKind, DeviceSpec, LinkSpec, NodeSpec
+from repro.hardware.cost import KernelCost, kernel_time, workgroup_time, transfer_time
+from repro.hardware.topology import SimDevice, SimNode
+from repro.hardware.presets import (
+    aji_cluster15_node,
+    symmetric_dual_gpu_node,
+    cpu_only_node,
+)
+
+__all__ = [
+    "DeviceKind",
+    "DeviceSpec",
+    "LinkSpec",
+    "NodeSpec",
+    "KernelCost",
+    "kernel_time",
+    "workgroup_time",
+    "transfer_time",
+    "SimDevice",
+    "SimNode",
+    "aji_cluster15_node",
+    "symmetric_dual_gpu_node",
+    "cpu_only_node",
+]

@@ -1,0 +1,197 @@
+"""Bind hardware specs to the discrete-event engine.
+
+:class:`SimNode` creates one FIFO resource per device execution engine and
+one per host↔device link, then exposes task factories for kernel launches
+and data transfers.  Device-to-device transfers are staged through host
+memory (D2H followed by H2D) because, as the paper notes in Section V.C.3,
+"current vendor drivers do not support direct D2D transfer capabilities
+across vendors and device types".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.hardware.cost import KernelCost, kernel_time, transfer_time, workgroup_time
+from repro.hardware.specs import DeviceSpec, HardwareError, NodeSpec
+from repro.sim.engine import SimEngine, SimTask
+from repro.sim.resources import FifoResource
+
+__all__ = ["SimDevice", "SimNode"]
+
+GB = 1e9
+
+
+class SimDevice:
+    """A device bound to the engine: spec + serial execution resource."""
+
+    def __init__(self, engine: SimEngine, spec: DeviceSpec) -> None:
+        self.engine = engine
+        self.spec = spec
+        self.resource = FifoResource(engine, f"dev:{spec.name}")
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    def submit_kernel(
+        self,
+        name: str,
+        cost: KernelCost,
+        deps: Optional[Sequence[SimTask]] = None,
+        category: str = "kernel",
+        minikernel: bool = False,
+        meta: Optional[dict] = None,
+    ) -> SimTask:
+        """Enqueue a kernel launch on this device's execution resource."""
+        duration = (
+            workgroup_time(self.spec, cost) if minikernel else kernel_time(self.spec, cost)
+        )
+        info = {"device": self.name, "kernel": name, "minikernel": minikernel}
+        if meta:
+            info.update(meta)
+        return self.engine.task(
+            name=f"{name}@{self.name}",
+            duration=duration,
+            resource=self.resource,
+            deps=list(deps or []),
+            category=category,
+            meta=info,
+        )
+
+    def submit_intradevice_copy(
+        self,
+        nbytes: int,
+        deps: Optional[Sequence[SimTask]] = None,
+        category: str = "transfer",
+        name: str = "d2d-local",
+    ) -> SimTask:
+        """A copy within device memory (charged at device bandwidth)."""
+        duration = nbytes / (self.spec.mem_bandwidth_gbs * GB)
+        return self.engine.task(
+            name=f"{name}@{self.name}",
+            duration=duration,
+            resource=self.resource,
+            deps=list(deps or []),
+            category=category,
+            meta={"device": self.name, "bytes": nbytes, "direction": "local"},
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SimDevice({self.spec.name!r}, kind={self.spec.kind.value})"
+
+
+class SimNode:
+    """A heterogeneous node bound to one engine."""
+
+    def __init__(self, engine: SimEngine, spec: NodeSpec) -> None:
+        self.engine = engine
+        self.spec = spec
+        self.devices: Dict[str, SimDevice] = {
+            d.name: SimDevice(engine, d) for d in spec.devices
+        }
+        # Devices whose LinkSpec share a *name* share one physical link —
+        # one FIFO resource, so their transfers contend.  This is how
+        # sub-devices created by clCreateSubDevices keep sharing their
+        # parent's PCIe/DRAM path.
+        by_name: Dict[str, FifoResource] = {}
+        self.links: Dict[str, FifoResource] = {}
+        for dev, link in spec.host_links.items():
+            if link.name not in by_name:
+                by_name[link.name] = FifoResource(engine, f"link:{link.name}")
+            self.links[dev] = by_name[link.name]
+
+    # ------------------------------------------------------------------
+    # Lookup helpers
+    # ------------------------------------------------------------------
+    def device(self, name: str) -> SimDevice:
+        try:
+            return self.devices[name]
+        except KeyError:
+            raise HardwareError(f"no device named {name!r} on node {self.spec.name}")
+
+    def device_list(self) -> List[SimDevice]:
+        """Devices in spec order (stable — index == OpenCL device index)."""
+        return [self.devices[d.name] for d in self.spec.devices]
+
+    # ------------------------------------------------------------------
+    # Analytic transfer costs (used by the scheduler's cost estimates)
+    # ------------------------------------------------------------------
+    def h2d_seconds(self, device: str, nbytes: int) -> float:
+        """Predicted host-to-device transfer time."""
+        return transfer_time(self.spec.host_links[device], nbytes)
+
+    def d2h_seconds(self, device: str, nbytes: int) -> float:
+        """Predicted device-to-host transfer time (symmetric links)."""
+        return transfer_time(self.spec.host_links[device], nbytes)
+
+    def d2d_seconds(self, src: str, dst: str, nbytes: int) -> float:
+        """Predicted device-to-device time: staged D2H + H2D via host."""
+        if src == dst:
+            return nbytes / (self.device(src).spec.mem_bandwidth_gbs * GB)
+        return self.d2h_seconds(src, nbytes) + self.h2d_seconds(dst, nbytes)
+
+    # ------------------------------------------------------------------
+    # Transfer task factories (charge simulated time on link resources)
+    # ------------------------------------------------------------------
+    def submit_h2d(
+        self,
+        device: str,
+        nbytes: int,
+        deps: Optional[Sequence[SimTask]] = None,
+        category: str = "transfer",
+        name: str = "h2d",
+    ) -> SimTask:
+        # Raw link time (not self.h2d_seconds: subclasses may override the
+        # estimate to include extra hops they charge as separate tasks).
+        duration = transfer_time(self.spec.host_links[device], nbytes)
+        return self.engine.task(
+            name=f"{name}:host->{device}",
+            duration=duration,
+            resource=self.links[device],
+            deps=list(deps or []),
+            category=category,
+            meta={"device": device, "bytes": nbytes, "direction": "h2d"},
+        )
+
+    def submit_d2h(
+        self,
+        device: str,
+        nbytes: int,
+        deps: Optional[Sequence[SimTask]] = None,
+        category: str = "transfer",
+        name: str = "d2h",
+    ) -> SimTask:
+        duration = transfer_time(self.spec.host_links[device], nbytes)
+        return self.engine.task(
+            name=f"{name}:{device}->host",
+            duration=duration,
+            resource=self.links[device],
+            deps=list(deps or []),
+            category=category,
+            meta={"device": device, "bytes": nbytes, "direction": "d2h"},
+        )
+
+    def submit_d2d(
+        self,
+        src: str,
+        dst: str,
+        nbytes: int,
+        deps: Optional[Sequence[SimTask]] = None,
+        category: str = "transfer",
+        name: str = "d2d",
+    ) -> SimTask:
+        """Device→device move, staged through host memory.
+
+        Returns the final (H2D) task; its completion means the data is
+        resident on ``dst``.
+        """
+        if src == dst:
+            return self.device(src).submit_intradevice_copy(
+                nbytes, deps=deps, category=category, name=name
+            )
+        stage = self.submit_d2h(src, nbytes, deps=deps, category=category, name=name)
+        return self.submit_h2d(dst, nbytes, deps=[stage], category=category, name=name)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SimNode({self.spec.name!r}, devices={list(self.devices)})"

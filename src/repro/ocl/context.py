@@ -1,0 +1,164 @@
+"""cl_context with the proposed ``CL_CONTEXT_SCHEDULER`` property.
+
+A context groups devices, buffers, programs and queues; buffers can only be
+shared among queues of the same context (standard OpenCL).  The extension:
+``properties`` may carry ``ContextProperty.CL_CONTEXT_SCHEDULER`` mapped to
+a :class:`~repro.ocl.enums.ContextScheduler` value, which instantiates a
+global scheduler for the context's automatically scheduled queues.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
+
+import numpy as np
+
+from repro.ocl.enums import ContextProperty, ContextScheduler, MemFlag
+from repro.ocl.errors import InvalidDevice, InvalidOperation, InvalidValue
+from repro.ocl.memory import Buffer
+from repro.ocl.program import Program
+from repro.ocl.queue import CommandQueue
+from repro.ocl.scheduling import SchedulerBase, create_scheduler
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.ocl.platform import Platform
+
+__all__ = ["Context"]
+
+_ids = itertools.count(1)
+
+
+class Context:
+    """A device-sharing scope, optionally with an automatic scheduler."""
+
+    def __init__(
+        self,
+        platform: "Platform",
+        device_names: Optional[Sequence[str]] = None,
+        properties: Optional[Dict[int, Any]] = None,
+    ) -> None:
+        self.id = next(_ids)
+        self.platform = platform
+        all_names = tuple(platform.device_names)
+        if device_names is None:
+            self.device_names: Tuple[str, ...] = all_names
+        else:
+            unknown = [d for d in device_names if d not in all_names]
+            if unknown:
+                raise InvalidDevice(
+                    f"devices {unknown} not on platform (has {list(all_names)})"
+                )
+            if not device_names:
+                raise InvalidDevice("context needs at least one device")
+            self.device_names = tuple(device_names)
+        self.properties: Dict[int, Any] = dict(properties or {})
+        self.buffers: List[Buffer] = []
+        self.queues: List[CommandQueue] = []
+        self.programs: List[Program] = []
+        self.scheduler: Optional[SchedulerBase] = None
+        policy = self.properties.get(ContextProperty.CL_CONTEXT_SCHEDULER)
+        if policy is not None:
+            try:
+                policy = ContextScheduler(policy)
+            except ValueError:
+                pass  # user-registered policy token (string, custom int...)
+            self.scheduler = create_scheduler(policy, self)
+
+    # ------------------------------------------------------------------
+    # Object factories
+    # ------------------------------------------------------------------
+    def create_buffer(
+        self,
+        nbytes: int,
+        flags: MemFlag = MemFlag.READ_WRITE,
+        host_array: Optional[np.ndarray] = None,
+        name: Optional[str] = None,
+    ) -> Buffer:
+        """clCreateBuffer."""
+        return Buffer(self, nbytes, flags=flags, host_array=host_array, name=name)
+
+    def create_program(self, source: str) -> Program:
+        """clCreateProgramWithSource."""
+        program = Program(self, source)
+        self.programs.append(program)
+        return program
+
+    def create_queue(
+        self,
+        device_name: Optional[str] = None,
+        sched_flags=None,
+        name: Optional[str] = None,
+        out_of_order: bool = False,
+    ) -> CommandQueue:
+        """clCreateCommandQueue (with the proposed SCHED_* properties and
+        the stock CL_QUEUE_OUT_OF_ORDER_EXEC_MODE_ENABLE)."""
+        from repro.ocl.enums import SchedFlag
+
+        flags = SchedFlag.SCHED_OFF if sched_flags is None else SchedFlag(sched_flags)
+        return CommandQueue(self, device_name, flags, name=name,
+                            out_of_order=out_of_order)
+
+    # ------------------------------------------------------------------
+    # Internal registries
+    # ------------------------------------------------------------------
+    def _register_buffer(self, buffer: Buffer) -> None:
+        self.buffers.append(buffer)
+
+    def _register_queue(self, queue: CommandQueue) -> None:
+        self.queues.append(queue)
+
+    # ------------------------------------------------------------------
+    # Scheduling triggers
+    # ------------------------------------------------------------------
+    def pending_queues(self) -> List[CommandQueue]:
+        """Auto queues holding deferred commands (the ready-queue pool)."""
+        return [q for q in self.queues if q.pending]
+
+    def _sync_pending(self, trigger_queue: Optional[CommandQueue] = None) -> None:
+        """Synchronization boundary: hand the ready-queue pool to the
+        scheduler (which must profile, map, and issue)."""
+        pool = self.pending_queues()
+        if not pool:
+            return
+        if self.scheduler is None:
+            raise InvalidOperation(
+                "deferred commands exist but the context has no scheduler"
+            )
+        self.scheduler.on_sync(pool, trigger_queue)
+        leftovers = [q.name for q in pool if q.pending]
+        if leftovers:
+            raise InvalidOperation(
+                f"scheduler left queues with pending commands: {leftovers}"
+            )
+
+    def issue_pool(self, pool: Sequence[CommandQueue]) -> None:
+        """Issue every deferred command of ``pool`` respecting cross-queue
+        event dependencies (schedulers call this after mapping)."""
+        remaining = [q for q in pool if q.pending]
+        progress = True
+        while remaining and progress:
+            progress = False
+            for q in remaining:
+                while q.pending and q.pending[0].deps_ready():
+                    q.issue(q.pending.pop(0))
+                    progress = True
+            remaining = [q for q in remaining if q.pending]
+        if remaining:
+            stuck = {q.name: len(q.pending) for q in remaining}
+            raise InvalidOperation(
+                f"cross-queue dependency deadlock while issuing: {stuck}"
+            )
+
+    def finish_all(self) -> None:
+        """Finish every queue in the context (a full synchronization epoch)."""
+        for q in self.queues:
+            if not q.released:
+                q.finish()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        sched = type(self.scheduler).__name__ if self.scheduler else "manual"
+        return (
+            f"Context(#{self.id}, devices={list(self.device_names)}, "
+            f"scheduler={sched})"
+        )

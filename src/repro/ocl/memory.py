@@ -1,0 +1,162 @@
+"""Buffers (cl_mem) with residency tracking.
+
+A buffer's *functional contents* live in one shared numpy array (or nowhere,
+for modelled-only workloads).  What the runtime tracks per device is
+*residency*: the set of holders ("host" or a device name) that currently
+have a valid copy.  Residency drives every data-movement cost in the
+reproduction:
+
+* explicit Read/Write commands move host↔device copies;
+* launching a kernel on a device where an argument is not resident inserts
+  an implicit migration (H2D from host, or staged D2D from another device);
+* the MultiCL kernel profiler stages inputs to candidate devices and — with
+  the Section V.C.3 data-caching optimisation — *keeps* those staged copies
+  so post-mapping execution needs no new transfer.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional, Set, TYPE_CHECKING
+
+import numpy as np
+
+from repro.ocl.enums import MemFlag
+from repro.ocl.errors import InvalidValue
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.ocl.context import Context
+
+__all__ = ["Buffer", "HOST"]
+
+#: Residency holder name for host memory.
+HOST = "host"
+
+_ids = itertools.count(1)
+
+
+class Buffer:
+    """A context-scoped memory object.
+
+    Parameters
+    ----------
+    context:
+        Owning :class:`~repro.ocl.context.Context`.
+    nbytes:
+        Buffer size in bytes (drives all transfer costs).
+    flags:
+        :class:`~repro.ocl.enums.MemFlag` bitfield.
+    host_array:
+        Optional numpy array holding the buffer's functional contents.  When
+        provided with ``MemFlag.COPY_HOST_PTR``, the buffer starts valid on
+        the host.  Modelled-only buffers pass ``None``.
+    name:
+        Optional label for traces and debugging.
+    """
+
+    def __init__(
+        self,
+        context: "Context",
+        nbytes: int,
+        flags: MemFlag = MemFlag.READ_WRITE,
+        host_array: Optional[np.ndarray] = None,
+        name: Optional[str] = None,
+    ) -> None:
+        if nbytes <= 0:
+            raise InvalidValue(f"buffer size must be positive, got {nbytes}")
+        if host_array is not None and host_array.nbytes == 0:
+            raise InvalidValue("host_array must be non-empty when provided")
+        self.context = context
+        self.nbytes = int(nbytes)
+        self.flags = flags
+        self.array = host_array
+        self.name = name or f"buf{next(_ids)}"
+        self.valid_on: Set[str] = set()
+        #: parent buffer when this is a sub-buffer (clCreateSubBuffer)
+        self.parent: Optional["Buffer"] = None
+        #: byte offset into the parent's data store
+        self.origin = 0
+        if flags & MemFlag.COPY_HOST_PTR:
+            if host_array is None:
+                raise InvalidValue("COPY_HOST_PTR requires a host_array")
+            self.valid_on.add(HOST)
+        context._register_buffer(self)
+
+    # ------------------------------------------------------------------
+    # Sub-buffers (clCreateSubBuffer)
+    # ------------------------------------------------------------------
+    def create_sub_buffer(
+        self, origin: int, nbytes: int, name: Optional[str] = None
+    ) -> "Buffer":
+        """OpenCL 1.1 ``clCreateSubBuffer``: a region of this buffer.
+
+        The sub-buffer shares the parent's functional data store (a numpy
+        view when the offsets align with the parent's dtype) but tracks its
+        *own* residency — per the OpenCL rule that concurrent use of a
+        parent and an overlapping sub-buffer is undefined, no coherency is
+        maintained between the two; use one or the other for a region.
+        Sub-buffers of sub-buffers are rejected, as in OpenCL.
+        """
+        if self.parent is not None:
+            raise InvalidValue("cannot create a sub-buffer of a sub-buffer")
+        if origin < 0 or nbytes <= 0 or origin + nbytes > self.nbytes:
+            raise InvalidValue(
+                f"sub-buffer region [{origin}, {origin + nbytes}) outside "
+                f"parent of {self.nbytes} bytes"
+            )
+        view = None
+        if self.array is not None:
+            itemsize = self.array.itemsize
+            if origin % itemsize == 0 and nbytes % itemsize == 0:
+                flat = self.array.reshape(-1)
+                view = flat[origin // itemsize : (origin + nbytes) // itemsize]
+        sub = Buffer(
+            self.context,
+            nbytes,
+            flags=self.flags & ~MemFlag.COPY_HOST_PTR,
+            host_array=view,
+            name=name or f"{self.name}[{origin}:{origin + nbytes}]",
+        )
+        sub.parent = self
+        sub.origin = origin
+        # The region inherits the parent's current residency.
+        sub.valid_on = set(self.valid_on)
+        return sub
+
+    # ------------------------------------------------------------------
+    # Residency bookkeeping
+    # ------------------------------------------------------------------
+    def is_valid_on(self, holder: str) -> bool:
+        return holder in self.valid_on
+
+    def mark_valid(self, holder: str) -> None:
+        """Add ``holder`` to the valid set (a copy landed there)."""
+        self.valid_on.add(holder)
+
+    def mark_exclusive(self, holder: str) -> None:
+        """The copy on ``holder`` is now the only valid one (it was written)."""
+        self.valid_on = {holder}
+
+    def invalidate(self, holder: str) -> None:
+        self.valid_on.discard(holder)
+
+    def any_valid_device(self) -> Optional[str]:
+        """Some device holding a valid copy, or None."""
+        for h in sorted(self.valid_on):
+            if h != HOST:
+                return h
+        return None
+
+    @property
+    def initialized(self) -> bool:
+        """Whether any holder has meaningful contents."""
+        return bool(self.valid_on)
+
+    def resident_on(self, device: str) -> bool:
+        """Alias for :meth:`is_valid_on` restricted to devices."""
+        return device in self.valid_on and device != HOST
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Buffer({self.name!r}, {self.nbytes}B, valid_on={sorted(self.valid_on)})"
+        )

@@ -1,0 +1,549 @@
+"""Command queues with deferred issue and implicit data migration.
+
+A queue created with ``SCHED_OFF`` behaves like stock OpenCL: it is bound to
+the device chosen at creation time and commands issue immediately.  A queue
+created with ``SCHED_AUTO_*`` flags participates in automatic scheduling:
+while scheduling is *active*, enqueued commands are held on the queue (the
+MultiCL ready-queue pool) until a synchronization trigger lets the scheduler
+profile the batch, pick a device, and issue everything.
+
+For ``SCHED_EXPLICIT_REGION`` queues, scheduling is active only between
+``clSetCommandQueueSchedProperty(SCHED_AUTO_*)`` and ``(SCHED_OFF)`` calls;
+outside the region the queue runs on its current binding — which is how the
+paper's NPB drivers restrict profiling to the warm-up iterations.
+
+Issuing a kernel inserts implicit migrations for arguments not resident on
+the target device (H2D from host, or D2H+H2D staged through the host when
+the valid copy lives on another device), charges the kernel's modelled
+execution time on the device's FIFO resource, runs the functional payload,
+and updates residency.
+
+Queues are in-order by default: every command implicitly depends on its
+predecessor.  With ``out_of_order=True`` (the stock OpenCL
+``CL_QUEUE_OUT_OF_ORDER_EXEC_MODE_ENABLE``), commands respect only their
+explicit wait lists and :meth:`CommandQueue.enqueue_barrier` points — so a
+transfer and a kernel from the same queue can overlap across the link and
+device resources (classic double buffering).  Functional payloads still run
+at issue time; as in real OpenCL, racing commands without events on shared
+buffers are undefined.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, TYPE_CHECKING
+
+from repro.ocl.enums import CommandKind, SchedFlag
+from repro.ocl.errors import (
+    InvalidCommandQueue,
+    InvalidOperation,
+    InvalidValue,
+    MemAllocationFailure,
+)
+from repro.ocl.event import Event
+from repro.ocl.kernel import Kernel, WorkGroupConfig
+from repro.ocl.memory import HOST, Buffer
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.ocl.context import Context
+    from repro.sim.engine import SimTask
+
+__all__ = ["Command", "CommandQueue"]
+
+_queue_ids = itertools.count(0)
+
+
+@dataclass
+class Command:
+    """One enqueued operation, possibly deferred."""
+
+    kind: CommandKind
+    wait_events: List[Event] = field(default_factory=list)
+    # write/read/copy payloads
+    buffer: Optional[Buffer] = None
+    host_array: Optional[Any] = None
+    nbytes: int = 0
+    src_buffer: Optional[Buffer] = None
+    # kernel payload
+    kernel: Optional[Kernel] = None
+    launch: Optional[WorkGroupConfig] = None
+    args_snapshot: Dict[int, Any] = field(default_factory=dict)
+    # filled in by the queue
+    event: Optional[Event] = None
+    issued: bool = False
+
+    @property
+    def is_kernel(self) -> bool:
+        return self.kind is CommandKind.NDRANGE_KERNEL
+
+    def deps_ready(self) -> bool:
+        """All wait-list events already have simulated tasks bound."""
+        return all(e.task is not None for e in self.wait_events)
+
+
+class CommandQueue:
+    """cl_command_queue with the proposed scheduling extensions."""
+
+    def __init__(
+        self,
+        context: "Context",
+        device_name: Optional[str] = None,
+        sched_flags: SchedFlag = SchedFlag.SCHED_OFF,
+        name: Optional[str] = None,
+        out_of_order: bool = False,
+    ) -> None:
+        self.id = next(_queue_ids)
+        self.context = context
+        self.name = name or f"queue{self.id}"
+        #: CL_QUEUE_OUT_OF_ORDER_EXEC_MODE_ENABLE: commands respect only
+        #: their explicit wait lists (and barriers), so transfers and
+        #: kernels from one queue may overlap across resources.
+        self.out_of_order = bool(out_of_order)
+        if device_name is None:
+            device_name = context.device_names[0]
+        if device_name not in context.device_names:
+            raise InvalidValue(
+                f"device {device_name!r} not in context devices "
+                f"{context.device_names}"
+            )
+        if sched_flags.is_auto and context.scheduler is None:
+            raise InvalidOperation(
+                f"queue {self.name!r} requests automatic scheduling but the "
+                f"context has no CL_CONTEXT_SCHEDULER property"
+            )
+        #: Current device binding (may be rebound by the scheduler).
+        self.device = device_name
+        self.sched_flags = sched_flags
+        #: Explicit-region state: scheduling active inside start/stop marks.
+        self.region_active = False
+        #: Deferred commands awaiting a scheduler trigger.
+        self.pending: List[Command] = []
+        #: Tail of the issued in-order chain (in-order queues).
+        self._tail: Optional["SimTask"] = None
+        #: Every issued, not-yet-awaited task (finish() drains these).
+        self._outstanding: List["SimTask"] = []
+        #: Last barrier task (out-of-order queues order around barriers).
+        self._barrier: Optional["SimTask"] = None
+        #: Completed synchronization epochs (for trace accounting).
+        self.epoch_index = 0
+        #: History of device bindings chosen by the scheduler.
+        self.binding_history: List[str] = [device_name]
+        self.released = False
+        context._register_queue(self)
+        if context.scheduler is not None:
+            context.scheduler.on_queue_created(self)
+
+    # ------------------------------------------------------------------
+    # Scheduling state
+    # ------------------------------------------------------------------
+    @property
+    def auto_active(self) -> bool:
+        """Whether commands enqueued *now* should be deferred."""
+        if not self.sched_flags.is_auto:
+            return False
+        if self.sched_flags & SchedFlag.SCHED_EXPLICIT_REGION:
+            return self.region_active
+        return True
+
+    def set_sched_property(self, flags: SchedFlag) -> None:
+        """The proposed ``clSetCommandQueueSchedProperty`` (Section IV.B).
+
+        Passing flags containing ``SCHED_AUTO_*`` starts a scheduling
+        region (and merges any additional hint flags); passing ``SCHED_OFF``
+        (an empty flag set) stops it, freezing the current device binding.
+        """
+        self._check_alive()
+        scheduler = self.context.scheduler
+        if flags.is_auto:
+            if scheduler is None:
+                raise InvalidOperation(
+                    "cannot start a scheduling region without a context scheduler"
+                )
+            self.sched_flags |= flags
+            if not self.region_active:
+                self.region_active = True
+                scheduler.on_region_start(self)
+        else:
+            if self.region_active:
+                self.region_active = False
+                if scheduler is not None:
+                    scheduler.on_region_stop(self)
+                # Stopping a region is a scheduling boundary: anything still
+                # deferred is scheduled now.
+                if self.pending:
+                    self.context._sync_pending(trigger_queue=self)
+
+    def rebind(self, device_name: str) -> None:
+        """Scheduler-driven device rebinding."""
+        if device_name not in self.context.device_names:
+            raise InvalidValue(f"unknown device {device_name!r}")
+        if device_name != self.device:
+            self.device = device_name
+        self.binding_history.append(device_name)
+
+    # ------------------------------------------------------------------
+    # Enqueue API
+    # ------------------------------------------------------------------
+    def enqueue_write_buffer(
+        self,
+        buffer: Buffer,
+        host_array: Optional[Any] = None,
+        nbytes: Optional[int] = None,
+        wait_events: Sequence[Event] = (),
+    ) -> Event:
+        """clEnqueueWriteBuffer (host → queue's device)."""
+        self._check_alive()
+        self._check_buffer(buffer)
+        cmd = Command(
+            kind=CommandKind.WRITE_BUFFER,
+            wait_events=list(wait_events),
+            buffer=buffer,
+            host_array=host_array,
+            nbytes=int(nbytes if nbytes is not None else buffer.nbytes),
+        )
+        return self._enqueue(cmd)
+
+    def enqueue_read_buffer(
+        self,
+        buffer: Buffer,
+        host_array: Optional[Any] = None,
+        nbytes: Optional[int] = None,
+        wait_events: Sequence[Event] = (),
+    ) -> Event:
+        """clEnqueueReadBuffer (queue's device → host)."""
+        self._check_alive()
+        self._check_buffer(buffer)
+        cmd = Command(
+            kind=CommandKind.READ_BUFFER,
+            wait_events=list(wait_events),
+            buffer=buffer,
+            host_array=host_array,
+            nbytes=int(nbytes if nbytes is not None else buffer.nbytes),
+        )
+        return self._enqueue(cmd)
+
+    def enqueue_fill_buffer(
+        self,
+        buffer: Buffer,
+        value: float = 0.0,
+        nbytes: Optional[int] = None,
+        wait_events: Sequence[Event] = (),
+    ) -> Event:
+        """clEnqueueFillBuffer: device-side constant fill (no host traffic)."""
+        self._check_alive()
+        self._check_buffer(buffer)
+        cmd = Command(
+            kind=CommandKind.FILL_BUFFER,
+            wait_events=list(wait_events),
+            buffer=buffer,
+            host_array=value,
+            nbytes=int(nbytes if nbytes is not None else buffer.nbytes),
+        )
+        return self._enqueue(cmd)
+
+    def enqueue_copy_buffer(
+        self,
+        src: Buffer,
+        dst: Buffer,
+        nbytes: Optional[int] = None,
+        wait_events: Sequence[Event] = (),
+    ) -> Event:
+        """clEnqueueCopyBuffer (device-side copy)."""
+        self._check_alive()
+        self._check_buffer(src)
+        self._check_buffer(dst)
+        cmd = Command(
+            kind=CommandKind.COPY_BUFFER,
+            wait_events=list(wait_events),
+            src_buffer=src,
+            buffer=dst,
+            nbytes=int(nbytes if nbytes is not None else min(src.nbytes, dst.nbytes)),
+        )
+        return self._enqueue(cmd)
+
+    def enqueue_nd_range_kernel(
+        self,
+        kernel: Kernel,
+        global_size: Sequence[int],
+        local_size: Optional[Sequence[int]] = None,
+        wait_events: Sequence[Event] = (),
+    ) -> Event:
+        """clEnqueueNDRangeKernel.
+
+        The launch configuration is recorded but, per the proposed
+        ``clSetKernelWorkGroupInfo`` semantics, it is ignored for devices
+        that carry a pre-set per-device configuration.
+        """
+        self._check_alive()
+        kernel.check_args_set()
+        launch = WorkGroupConfig.normalize(global_size, local_size)
+        cmd = Command(
+            kind=CommandKind.NDRANGE_KERNEL,
+            wait_events=list(wait_events),
+            kernel=kernel,
+            launch=launch,
+            args_snapshot=dict(kernel.args),
+        )
+        return self._enqueue(cmd)
+
+    def enqueue_marker(self, wait_events: Sequence[Event] = ()) -> Event:
+        """clEnqueueMarkerWithWaitList."""
+        self._check_alive()
+        cmd = Command(kind=CommandKind.MARKER, wait_events=list(wait_events))
+        return self._enqueue(cmd)
+
+    def enqueue_barrier(self, wait_events: Sequence[Event] = ()) -> Event:
+        """clEnqueueBarrierWithWaitList: an intra-queue ordering point.
+
+        On an out-of-order queue the barrier waits for everything issued so
+        far and every later command waits for the barrier.  On an in-order
+        queue it is equivalent to a marker.
+        """
+        self._check_alive()
+        cmd = Command(kind=CommandKind.BARRIER, wait_events=list(wait_events))
+        return self._enqueue(cmd)
+
+    def _enqueue(self, cmd: Command) -> Event:
+        event = Event(self, cmd)
+        cmd.event = event
+        if self.auto_active:
+            self.pending.append(cmd)
+            scheduler = self.context.scheduler
+            assert scheduler is not None
+            scheduler.on_enqueue(self, cmd)
+        else:
+            self._ensure_deps_issued(cmd)
+            self.issue(cmd)
+        return event
+
+    def _ensure_deps_issued(self, cmd: Command) -> None:
+        """An immediate command whose wait list references deferred events
+        forces those queues to schedule first (a cross-queue sync point)."""
+        for e in cmd.wait_events:
+            if e.task is None and not e.command.issued:
+                self.context._sync_pending(trigger_queue=e.queue)
+        if not cmd.deps_ready():
+            raise InvalidOperation(
+                f"queue {self.name!r}: wait-list event still unissued after "
+                f"scheduler trigger"
+            )
+
+    # ------------------------------------------------------------------
+    # Issue path (runs once the queue is bound to a device)
+    # ------------------------------------------------------------------
+    def issue(self, cmd: Command) -> None:
+        """Issue one command to the queue's current device."""
+        if cmd.issued:
+            raise InvalidCommandQueue(f"command {cmd.kind} issued twice")
+        if not cmd.deps_ready():
+            raise InvalidCommandQueue(
+                f"queue {self.name!r}: issuing {cmd.kind} before its wait list"
+            )
+        node = self.context.platform.node
+        engine = self.context.platform.engine
+        deps: List["SimTask"] = [e.task for e in cmd.wait_events if e.task is not None]
+        if self.out_of_order:
+            # Only barriers impose intra-queue order.
+            if self._barrier is not None:
+                deps.append(self._barrier)
+        elif self._tail is not None:
+            deps.append(self._tail)
+
+        if cmd.kind is CommandKind.WRITE_BUFFER:
+            assert cmd.buffer is not None
+            self._check_capacity(cmd.buffer, extra=(cmd.buffer,))
+            task = node.submit_h2d(
+                self.device, cmd.nbytes, deps=deps, category="transfer",
+                name=f"write:{cmd.buffer.name}",
+            )
+            if cmd.host_array is not None and cmd.buffer.array is not None:
+                cmd.buffer.array[...] = cmd.host_array
+            cmd.buffer.mark_exclusive(HOST)
+            cmd.buffer.mark_valid(self.device)
+        elif cmd.kind is CommandKind.READ_BUFFER:
+            assert cmd.buffer is not None
+            mig = self._migrations_for([cmd.buffer], deps, category="migration")
+            task = node.submit_d2h(
+                self.device, cmd.nbytes, deps=deps + mig, category="transfer",
+                name=f"read:{cmd.buffer.name}",
+            )
+            if cmd.host_array is not None and cmd.buffer.array is not None:
+                cmd.host_array[...] = cmd.buffer.array
+            cmd.buffer.mark_valid(HOST)
+        elif cmd.kind is CommandKind.FILL_BUFFER:
+            assert cmd.buffer is not None
+            self._check_capacity(cmd.buffer, extra=(cmd.buffer,))
+            task = node.device(self.device).submit_intradevice_copy(
+                cmd.nbytes, deps=deps, category="transfer",
+                name=f"fill:{cmd.buffer.name}",
+            )
+            if cmd.buffer.array is not None:
+                cmd.buffer.array[...] = cmd.host_array
+            cmd.buffer.mark_exclusive(self.device)
+        elif cmd.kind is CommandKind.COPY_BUFFER:
+            assert cmd.buffer is not None and cmd.src_buffer is not None
+            mig = self._migrations_for([cmd.src_buffer], deps, category="migration")
+            task = node.device(self.device).submit_intradevice_copy(
+                cmd.nbytes, deps=deps + mig, category="transfer",
+                name=f"copy:{cmd.src_buffer.name}->{cmd.buffer.name}",
+            )
+            if cmd.buffer.array is not None and cmd.src_buffer.array is not None:
+                cmd.buffer.array[...] = cmd.src_buffer.array
+            cmd.buffer.mark_exclusive(self.device)
+        elif cmd.kind is CommandKind.NDRANGE_KERNEL:
+            task = self._issue_kernel(cmd, deps)
+        elif cmd.kind is CommandKind.MARKER:
+            task = engine.task(
+                name=f"marker@{self.name}", duration=0.0, deps=deps,
+                category="marker",
+            )
+        elif cmd.kind is CommandKind.BARRIER:
+            barrier_deps = deps + [t for t in self._outstanding if not t.done]
+            task = engine.task(
+                name=f"barrier@{self.name}", duration=0.0, deps=barrier_deps,
+                category="marker",
+            )
+            self._barrier = task
+        else:  # pragma: no cover - exhaustive
+            raise InvalidValue(f"unknown command kind {cmd.kind}")
+
+        cmd.issued = True
+        assert cmd.event is not None
+        cmd.event._bind_task(task)
+        self._tail = task
+        self._outstanding.append(task)
+
+    def _issue_kernel(self, cmd: Command, deps: List["SimTask"]) -> "SimTask":
+        kernel = cmd.kernel
+        launch = cmd.launch
+        assert kernel is not None and launch is not None
+        device = self.context.platform.node.device(self.device)
+        buffers = [
+            v for v in cmd.args_snapshot.values() if isinstance(v, Buffer)
+        ]
+        self._check_capacity(*buffers, extra=buffers)
+        migrations = self._migrations_for(buffers, deps, category="migration")
+        config = kernel.effective_config(self.device, launch)
+        cost = kernel.launch_cost(device.spec, launch)
+        task = device.submit_kernel(
+            name=kernel.name,
+            cost=cost,
+            deps=deps + migrations,
+            category="kernel",
+            meta={"queue": self.name, "epoch": self.epoch_index},
+        )
+        # Functional payload runs in dependency (issue) order — see module doc.
+        saved = kernel.args
+        kernel.args = cmd.args_snapshot
+        try:
+            kernel.run_host_function()
+        finally:
+            kernel.args = saved
+        for buf in self._written_buffers(kernel, cmd.args_snapshot):
+            buf.mark_exclusive(self.device)
+        del config  # config folded into cost via launch_cost
+        return task
+
+    @staticmethod
+    def _written_buffers(kernel: Kernel, snapshot: Dict[int, Any]) -> List[Buffer]:
+        writes = kernel.info.writes
+        out = []
+        for i, v in snapshot.items():
+            if not isinstance(v, Buffer):
+                continue
+            if not writes or i in writes:
+                out.append(v)
+        return out
+
+    def _migrations_for(
+        self,
+        buffers: Sequence[Buffer],
+        deps: List["SimTask"],
+        category: str,
+    ) -> List["SimTask"]:
+        """Make every buffer resident on the queue's device; return the
+        transfer tasks (empty if all data already resident)."""
+        node = self.context.platform.node
+        tasks: List["SimTask"] = []
+        for buf in buffers:
+            if buf.is_valid_on(self.device):
+                continue
+            if not buf.initialized:
+                # First touch: allocation only, no data to move.
+                buf.mark_valid(self.device)
+                continue
+            if buf.is_valid_on(HOST):
+                t = node.submit_h2d(
+                    self.device, buf.nbytes, deps=deps, category=category,
+                    name=f"mig:{buf.name}",
+                )
+            else:
+                src = buf.any_valid_device()
+                assert src is not None
+                t = node.submit_d2d(
+                    src, self.device, buf.nbytes, deps=deps, category=category,
+                    name=f"mig:{buf.name}",
+                )
+            buf.mark_valid(self.device)
+            tasks.append(t)
+        return tasks
+
+    def _check_capacity(self, *incoming: Buffer, extra: Sequence[Buffer]) -> None:
+        """Device-memory capacity check before making buffers resident."""
+        spec = self.context.platform.node.device(self.device).spec
+        resident = {
+            b for b in self.context.buffers if b.resident_on(self.device)
+        }
+        resident.update(b for b in extra)
+        total = sum(b.nbytes for b in resident)
+        if total > spec.mem_size_bytes:
+            raise MemAllocationFailure(
+                f"device {self.device!r}: {total} bytes needed, "
+                f"{spec.mem_size_bytes} available"
+            )
+
+    # ------------------------------------------------------------------
+    # Synchronization
+    # ------------------------------------------------------------------
+    def flush(self) -> None:
+        """clFlush: force deferred commands to be scheduled and issued."""
+        self._check_alive()
+        if self.pending:
+            self.context._sync_pending(trigger_queue=self)
+
+    def finish(self) -> None:
+        """clFinish: schedule if needed, then block until the queue drains."""
+        self.flush()
+        engine = self.context.platform.engine
+        for task in self._outstanding:
+            if not task.done:
+                engine.run_until(task)
+        self._outstanding.clear()
+        self.epoch_index += 1
+        self.context.platform.engine.trace.mark(
+            self.context.platform.engine.now, f"epoch:{self.name}:{self.epoch_index}"
+        )
+
+    def release(self) -> None:
+        """clReleaseCommandQueue (idempotent)."""
+        if not self.released:
+            if self.pending:
+                self.finish()
+            self.released = True
+
+    def _check_alive(self) -> None:
+        if self.released:
+            raise InvalidCommandQueue(f"queue {self.name!r} was released")
+
+    def _check_buffer(self, buffer: Buffer) -> None:
+        if buffer.context is not self.context:
+            raise InvalidValue(
+                f"buffer {buffer.name!r} belongs to a different context"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CommandQueue({self.name!r}, device={self.device!r}, "
+            f"flags={self.sched_flags!r}, pending={len(self.pending)})"
+        )

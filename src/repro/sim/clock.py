@@ -1,0 +1,59 @@
+"""Virtual clock for the discrete-event engine.
+
+The clock is monotonically non-decreasing.  Only the engine advances it;
+user code reads :attr:`SimClock.now` and may *not* move time backwards.
+All times are seconds of simulated wall-clock time, stored as floats.
+"""
+
+from __future__ import annotations
+
+
+class ClockError(RuntimeError):
+    """Raised on an attempt to move simulated time backwards."""
+
+
+class SimClock:
+    """A monotonic virtual clock.
+
+    Parameters
+    ----------
+    start:
+        Initial simulated time in seconds (default ``0.0``).
+    """
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0.0:
+            raise ClockError(f"clock cannot start at negative time {start!r}")
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def advance_to(self, time: float) -> None:
+        """Advance the clock to an absolute ``time``.
+
+        Raises
+        ------
+        ClockError
+            If ``time`` is earlier than the current time.  (Advancing to the
+            *current* time is a no-op and allowed: zero-duration events are
+            common.)
+        """
+        if time < self._now:
+            raise ClockError(
+                f"cannot move clock backwards: now={self._now!r}, target={time!r}"
+            )
+        self._now = float(time)
+
+    def advance_by(self, delta: float) -> None:
+        """Advance the clock by a non-negative ``delta`` seconds."""
+        if delta < 0.0:
+            raise ClockError(f"cannot advance clock by negative delta {delta!r}")
+        self._now += float(delta)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SimClock(now={self._now:.9f})"

@@ -1,0 +1,266 @@
+"""Discrete-event engine and task graph.
+
+The engine owns a :class:`~repro.sim.clock.SimClock` and a time-ordered event
+heap.  Work is expressed as :class:`SimTask` objects: a task has a fixed
+*duration*, an optional *resource* it must be served by (FIFO, one task at a
+time), and a set of *dependencies* (other tasks) that must complete before it
+may start.  Tasks without a resource model host-side latencies: they start as
+soon as their dependencies complete and occupy no shared resource.
+
+This is the only place simulated time advances; everything above (the OpenCL
+layer, the MultiCL scheduler, the workloads) expresses costs as task durations
+and lets the engine order them.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.sim.clock import SimClock
+from repro.sim.trace import Trace
+
+__all__ = ["SimTask", "SimEngine", "SimError"]
+
+
+class SimError(RuntimeError):
+    """Raised on invalid engine usage (cycles, double submission, ...)."""
+
+
+#: Task lifecycle states.
+_PENDING = "pending"  # created, not yet submitted
+_WAITING = "waiting"  # submitted, waiting on dependencies
+_READY = "ready"  # dependencies met, queued on its resource
+_RUNNING = "running"  # in service
+_DONE = "done"
+
+
+class SimTask:
+    """A unit of simulated work.
+
+    Parameters
+    ----------
+    name:
+        Human-readable identifier (shows up in traces).
+    duration:
+        Service time in simulated seconds.  Must be non-negative.
+    resource:
+        Optional :class:`~repro.sim.resources.FifoResource`; when ``None``
+        the task runs "in the air" (host-side latency) without queueing.
+    deps:
+        Tasks that must complete before this one starts.
+    category:
+        Free-form label used by the trace for time accounting, e.g.
+        ``"kernel"``, ``"transfer"``, ``"profile"``.
+    meta:
+        Arbitrary metadata propagated to the trace (kernel names, sizes...).
+    """
+
+    __slots__ = (
+        "name",
+        "duration",
+        "resource",
+        "deps",
+        "category",
+        "meta",
+        "state",
+        "start_time",
+        "end_time",
+        "_unmet",
+        "_dependents",
+        "_callbacks",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        duration: float,
+        resource: Optional["FifoResource"] = None,  # noqa: F821
+        deps: Optional[List["SimTask"]] = None,
+        category: str = "work",
+        meta: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        if duration < 0.0:
+            raise SimError(f"task {name!r} has negative duration {duration!r}")
+        self.name = name
+        self.duration = float(duration)
+        self.resource = resource
+        self.deps: List[SimTask] = list(deps or [])
+        self.category = category
+        self.meta: Dict[str, Any] = dict(meta or {})
+        self.state = _PENDING
+        self.start_time: Optional[float] = None
+        self.end_time: Optional[float] = None
+        self._unmet = 0
+        self._dependents: List[SimTask] = []
+        self._callbacks: List[Callable[["SimTask"], None]] = []
+
+    @property
+    def done(self) -> bool:
+        return self.state == _DONE
+
+    def on_complete(self, fn: Callable[["SimTask"], None]) -> None:
+        """Register ``fn(task)`` to run when the task completes.
+
+        If the task is already done the callback fires immediately.
+        """
+        if self.done:
+            fn(self)
+        else:
+            self._callbacks.append(fn)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SimTask({self.name!r}, dur={self.duration:.3g}, "
+            f"state={self.state}, start={self.start_time}, end={self.end_time})"
+        )
+
+
+class SimEngine:
+    """Event heap + virtual clock + task dependency resolution."""
+
+    def __init__(self, trace: Optional[Trace] = None) -> None:
+        self.clock = SimClock()
+        self.trace = trace if trace is not None else Trace()
+        self._heap: List[Tuple[float, int, Callable[[], None]]] = []
+        self._seq = itertools.count()
+        self._open_tasks = 0
+
+    # ------------------------------------------------------------------
+    # Low-level event scheduling
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time (seconds)."""
+        return self.clock.now
+
+    def schedule_at(self, time: float, fn: Callable[[], None]) -> None:
+        """Run ``fn`` at absolute simulated ``time`` (>= now)."""
+        if time < self.now:
+            raise SimError(f"cannot schedule event in the past ({time} < {self.now})")
+        heapq.heappush(self._heap, (time, next(self._seq), fn))
+
+    def schedule_after(self, delay: float, fn: Callable[[], None]) -> None:
+        """Run ``fn`` after ``delay`` simulated seconds."""
+        if delay < 0.0:
+            raise SimError(f"negative delay {delay!r}")
+        self.schedule_at(self.now + delay, fn)
+
+    # ------------------------------------------------------------------
+    # Task API
+    # ------------------------------------------------------------------
+    def submit(self, task: SimTask) -> SimTask:
+        """Submit ``task`` for execution once its dependencies complete."""
+        if task.state != _PENDING:
+            raise SimError(f"task {task.name!r} submitted twice")
+        task.state = _WAITING
+        self._open_tasks += 1
+        unmet = 0
+        for dep in task.deps:
+            if not dep.done:
+                if dep.state == _PENDING:
+                    raise SimError(
+                        f"task {task.name!r} depends on unsubmitted task {dep.name!r}"
+                    )
+                dep._dependents.append(task)
+                unmet += 1
+        task._unmet = unmet
+        if unmet == 0:
+            self._make_ready(task)
+        return task
+
+    def task(
+        self,
+        name: str,
+        duration: float,
+        resource: Optional["FifoResource"] = None,  # noqa: F821
+        deps: Optional[List[SimTask]] = None,
+        category: str = "work",
+        meta: Optional[Dict[str, Any]] = None,
+    ) -> SimTask:
+        """Create *and submit* a task in one call."""
+        return self.submit(SimTask(name, duration, resource, deps, category, meta))
+
+    def _make_ready(self, task: SimTask) -> None:
+        task.state = _READY
+        if task.resource is None:
+            self._begin(task)
+        else:
+            task.resource._enqueue(task)
+
+    def _begin(self, task: SimTask) -> None:
+        """Start service for a ready task (resource already acquired)."""
+        task.state = _RUNNING
+        task.start_time = self.now
+        end = self.now + task.duration
+        self.schedule_at(end, lambda: self._finish(task))
+
+    def _finish(self, task: SimTask) -> None:
+        task.state = _DONE
+        task.end_time = self.now
+        self._open_tasks -= 1
+        resname = task.resource.name if task.resource is not None else "host"
+        self.trace.record(
+            resource=resname,
+            task=task.name,
+            category=task.category,
+            start=task.start_time if task.start_time is not None else self.now,
+            end=self.now,
+            meta=task.meta,
+        )
+        if task.resource is not None:
+            task.resource._service_done()
+        for dep in task._dependents:
+            dep._unmet -= 1
+            if dep._unmet == 0 and dep.state == _WAITING:
+                self._make_ready(dep)
+        task._dependents = []
+        callbacks, task._callbacks = task._callbacks, []
+        for fn in callbacks:
+            fn(task)
+
+    # ------------------------------------------------------------------
+    # Running
+    # ------------------------------------------------------------------
+    def run_until(self, task: SimTask) -> float:
+        """Process events until ``task`` completes; return its end time.
+
+        This models a *blocking host call*: the simulated host waits for the
+        task, and the shared clock lands exactly on the task's completion.
+        Events scheduled later than that stay queued for subsequent runs.
+        """
+        if task.state == _PENDING:
+            raise SimError(f"cannot wait on unsubmitted task {task.name!r}")
+        while not task.done:
+            if not self._heap:
+                raise SimError(
+                    f"deadlock: waiting on {task.name!r} with an empty event heap"
+                )
+            self._step()
+        # The final processed event may have been exactly this task's finish;
+        # the clock already sits at task.end_time.
+        assert task.end_time is not None
+        return task.end_time
+
+    def run_until_idle(self) -> float:
+        """Drain all queued events; return the final simulated time."""
+        while self._heap:
+            self._step()
+        if self._open_tasks:
+            raise SimError(f"{self._open_tasks} task(s) never completed (cycle?)")
+        return self.now
+
+    def elapse(self, duration: float, category: str = "host", name: str = "host-delay") -> None:
+        """Advance the simulated host by ``duration`` seconds.
+
+        Concurrent device work scheduled inside that window is processed in
+        order, exactly as if the host were sleeping while devices progress.
+        """
+        sleeper = self.task(name, duration, category=category)
+        self.run_until(sleeper)
+
+    def _step(self) -> None:
+        time, _, fn = heapq.heappop(self._heap)
+        self.clock.advance_to(time)
+        fn()

@@ -1,0 +1,128 @@
+"""Trace export and utilisation reporting.
+
+Two consumers of :class:`~repro.sim.trace.Trace` beyond the benchmark
+figures:
+
+* :func:`to_chrome_trace` — convert a trace to the Chrome trace-event JSON
+  format, loadable in ``chrome://tracing`` / Perfetto, with one row per
+  simulated resource (devices, links, host) and colour-coded categories,
+  so a whole scheduled run can be inspected visually;
+* :func:`utilization_report` — per-resource busy fractions and per-category
+  breakdowns over a time window, as a plain data structure (the examples
+  print it; tests assert on it).
+
+Simulated times are seconds; Chrome expects microseconds.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Optional
+
+from repro.sim.trace import Trace
+
+__all__ = ["to_chrome_trace", "write_chrome_trace", "utilization_report"]
+
+#: Stable colour names (Chrome trace palette) per category.
+_COLORS = {
+    "kernel": "thread_state_running",
+    "transfer": "rail_load",
+    "migration": "rail_animation",
+    "profile-kernel": "terrible",
+    "profile-transfer": "bad",
+    "schedule": "grey",
+    "build": "generic_work",
+    "devprofile": "good",
+}
+
+
+def to_chrome_trace(trace: Trace, include_marks: bool = True) -> Dict:
+    """Build a Chrome trace-event dict from ``trace``.
+
+    Resources map to thread ids in one process; every interval becomes a
+    complete ('X') event; trace marks become instant ('i') events.
+    """
+    resources = trace.resources()
+    tids = {name: i + 1 for i, name in enumerate(resources)}
+    events = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 1,
+            "args": {"name": "MultiCL simulation"},
+        }
+    ]
+    for name, tid in tids.items():
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 1,
+                "tid": tid,
+                "args": {"name": name},
+            }
+        )
+    for iv in trace:
+        events.append(
+            {
+                "name": iv.task,
+                "cat": iv.category,
+                "ph": "X",
+                "pid": 1,
+                "tid": tids[iv.resource],
+                "ts": iv.start * 1e6,
+                "dur": iv.duration * 1e6,
+                "cname": _COLORS.get(iv.category, "generic_work"),
+                "args": {k: str(v) for k, v in iv.meta.items()},
+            }
+        )
+    if include_marks:
+        for time, label in trace.marks:
+            events.append(
+                {
+                    "name": label,
+                    "cat": "mark",
+                    "ph": "i",
+                    "pid": 1,
+                    "ts": time * 1e6,
+                    "s": "g",
+                }
+            )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(trace: Trace, path: str) -> str:
+    """Serialise :func:`to_chrome_trace` to ``path``; returns the path."""
+    with open(path, "w") as fh:
+        json.dump(to_chrome_trace(trace), fh)
+    return path
+
+
+def utilization_report(
+    trace: Trace,
+    t0: float = 0.0,
+    t1: Optional[float] = None,
+) -> Dict[str, Dict]:
+    """Per-resource utilisation over ``[t0, t1)``.
+
+    Returns ``{resource: {"busy_s": float, "utilization": float,
+    "by_category": {category: seconds}}}``.  ``t1`` defaults to the latest
+    interval end.  Intervals are attributed by start time (consistent with
+    :meth:`Trace.between`).
+    """
+    if t1 is None:
+        t1 = max((iv.end for iv in trace), default=t0)
+    span = max(t1 - t0, 1e-15)
+    report: Dict[str, Dict] = {}
+    for iv in trace:
+        if not (t0 <= iv.start < t1):
+            continue
+        entry = report.setdefault(
+            iv.resource, {"busy_s": 0.0, "utilization": 0.0, "by_category": {}}
+        )
+        entry["busy_s"] += iv.duration
+        cats = entry["by_category"]
+        cats[iv.category] = cats.get(iv.category, 0.0) + iv.duration
+    for entry in report.values():
+        entry["utilization"] = min(entry["busy_s"] / span, 1.0)
+    return report

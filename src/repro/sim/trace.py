@@ -1,0 +1,128 @@
+"""Timeline tracing for simulated runs.
+
+The trace records one :class:`TraceInterval` per completed task: which
+resource served it, what category of work it was, and when.  The evaluation
+harness uses this to reproduce the paper's accounting figures — kernel→device
+distributions (Fig. 5), profiling-overhead breakdowns (Figs. 6–8), and
+per-iteration timelines (Fig. 10) — without instrumenting the runtime itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional
+
+__all__ = ["TraceInterval", "Trace"]
+
+
+@dataclass(frozen=True)
+class TraceInterval:
+    """One served task on one resource."""
+
+    resource: str
+    task: str
+    category: str
+    start: float
+    end: float
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class Trace:
+    """Append-only collection of :class:`TraceInterval` records."""
+
+    def __init__(self) -> None:
+        self._intervals: List[TraceInterval] = []
+        #: monotonically increasing marks: (time, label); used to delimit
+        #: program phases such as iterations or synchronization epochs.
+        self.marks: List[tuple] = []
+
+    def record(
+        self,
+        resource: str,
+        task: str,
+        category: str,
+        start: float,
+        end: float,
+        meta: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self._intervals.append(
+            TraceInterval(resource, task, category, start, end, dict(meta or {}))
+        )
+
+    def mark(self, time: float, label: str) -> None:
+        """Record a named instant (e.g. ``"iteration:3"``)."""
+        self.marks.append((time, label))
+
+    def __len__(self) -> int:
+        return len(self._intervals)
+
+    def __iter__(self) -> Iterator[TraceInterval]:
+        return iter(self._intervals)
+
+    def filter(
+        self,
+        resource: Optional[str] = None,
+        category: Optional[str] = None,
+        predicate: Optional[Callable[[TraceInterval], bool]] = None,
+    ) -> List[TraceInterval]:
+        """Select intervals by resource and/or category and/or predicate."""
+        out = []
+        for iv in self._intervals:
+            if resource is not None and iv.resource != resource:
+                continue
+            if category is not None and iv.category != category:
+                continue
+            if predicate is not None and not predicate(iv):
+                continue
+            out.append(iv)
+        return out
+
+    def total_time(
+        self, resource: Optional[str] = None, category: Optional[str] = None
+    ) -> float:
+        """Sum of durations matching the filters."""
+        return sum(iv.duration for iv in self.filter(resource, category))
+
+    def count(
+        self, resource: Optional[str] = None, category: Optional[str] = None
+    ) -> int:
+        """Number of intervals matching the filters."""
+        return len(self.filter(resource, category))
+
+    def resources(self) -> List[str]:
+        """Sorted list of distinct resource names seen."""
+        return sorted({iv.resource for iv in self._intervals})
+
+    def categories(self) -> List[str]:
+        """Sorted list of distinct categories seen."""
+        return sorted({iv.category for iv in self._intervals})
+
+    def by_resource(self, category: Optional[str] = None) -> Dict[str, float]:
+        """Map resource name -> total busy seconds (optionally per category)."""
+        out: Dict[str, float] = {}
+        for iv in self._intervals:
+            if category is not None and iv.category != category:
+                continue
+            out[iv.resource] = out.get(iv.resource, 0.0) + iv.duration
+        return out
+
+    def counts_by_resource(self, category: Optional[str] = None) -> Dict[str, int]:
+        """Map resource name -> number of served tasks (optionally per category)."""
+        out: Dict[str, int] = {}
+        for iv in self._intervals:
+            if category is not None and iv.category != category:
+                continue
+            out[iv.resource] = out.get(iv.resource, 0) + 1
+        return out
+
+    def between(self, t0: float, t1: float) -> List[TraceInterval]:
+        """Intervals whose *start* falls within ``[t0, t1)``."""
+        return [iv for iv in self._intervals if t0 <= iv.start < t1]
+
+    def extend(self, intervals: Iterable[TraceInterval]) -> None:
+        """Bulk-append intervals (used when merging traces in tests)."""
+        self._intervals.extend(intervals)

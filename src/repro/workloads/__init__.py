@@ -1,0 +1,30 @@
+"""Evaluation workloads (paper Section VI).
+
+* :mod:`repro.workloads.npb` — the six SNU-NPB-MD benchmarks (BT, CG, EP,
+  FT, MG, SP) as task-parallel OpenCL drivers over the simulated runtime,
+  with the queue-count restrictions and scheduler options of Table II, the
+  problem-class scaling of NPB 3.3, and per-kernel cost characteristics
+  calibrated so the single-device CPU/GPU ratios match the paper's Fig. 3.
+* :mod:`repro.workloads.seismology` — FDM-Seismology: a real 2-D
+  staggered-grid velocity–stress finite-difference solver (numpy) wrapped
+  in the paper's two-queue OpenCL driver with column-major and row-major
+  kernel variants.
+"""
+
+from repro.workloads.base import (
+    ProblemClass,
+    QueueRule,
+    WorkloadRun,
+    any_queue_rule,
+    power_of_two_rule,
+    square_rule,
+)
+
+__all__ = [
+    "ProblemClass",
+    "QueueRule",
+    "WorkloadRun",
+    "any_queue_rule",
+    "power_of_two_rule",
+    "square_rule",
+]

@@ -1,0 +1,119 @@
+"""Shared workload abstractions.
+
+Problem classes follow NPB naming (S, W, A, B, C, D).  Queue-count rules
+encode the per-benchmark restrictions of the paper's Table II ("Square:
+1,4", "Power of 2: 1,2,4", "Any: 1,2,4").  :class:`WorkloadRun` is the
+uniform result record every driver returns: simulated timings, run
+accounting, scheduler decisions and (in functional mode) numerical checks.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.core.runtime import RunStats
+
+__all__ = [
+    "ProblemClass",
+    "QueueRule",
+    "any_queue_rule",
+    "power_of_two_rule",
+    "square_rule",
+    "WorkloadRun",
+    "WorkloadError",
+]
+
+
+class WorkloadError(ValueError):
+    """Invalid workload configuration (class, queue count...)."""
+
+
+class ProblemClass(str, enum.Enum):
+    """NPB problem classes, smallest to largest."""
+
+    S = "S"
+    W = "W"
+    A = "A"
+    B = "B"
+    C = "C"
+    D = "D"
+
+    @property
+    def rank(self) -> int:
+        return list(ProblemClass).index(self)
+
+    def __lt__(self, other: "ProblemClass") -> bool:  # type: ignore[override]
+        return self.rank < other.rank
+
+
+@dataclass(frozen=True)
+class QueueRule:
+    """Allowed command-queue counts for a benchmark."""
+
+    description: str
+    allowed: Sequence[int]
+
+    def validate(self, num_queues: int) -> None:
+        if num_queues not in self.allowed:
+            raise WorkloadError(
+                f"queue count {num_queues} not allowed "
+                f"({self.description}: {list(self.allowed)})"
+            )
+
+
+def any_queue_rule(counts: Sequence[int] = (1, 2, 4)) -> QueueRule:
+    return QueueRule("Any", tuple(counts))
+
+
+def power_of_two_rule(counts: Sequence[int] = (1, 2, 4)) -> QueueRule:
+    for c in counts:
+        if c & (c - 1):
+            raise WorkloadError(f"{c} is not a power of two")
+    return QueueRule("Power of 2", tuple(counts))
+
+
+def square_rule(counts: Sequence[int] = (1, 4)) -> QueueRule:
+    for c in counts:
+        if int(math.isqrt(c)) ** 2 != c:
+            raise WorkloadError(f"{c} is not a square")
+    return QueueRule("Square", tuple(counts))
+
+
+@dataclass
+class WorkloadRun:
+    """Result of one driver run on the simulated runtime."""
+
+    #: benchmark name, e.g. "FT"
+    name: str
+    #: problem class label
+    problem_class: str
+    #: number of command queues
+    num_queues: int
+    #: "manual" (explicit device list), "auto" (MultiCL), or "round_robin"
+    mode: str
+    #: total simulated seconds of the measured region
+    seconds: float
+    #: accounting record for the measured region
+    stats: RunStats
+    #: final device binding per queue name
+    bindings: Dict[str, str] = field(default_factory=dict)
+    #: mapping decisions at each scheduler trigger
+    mappings: List[Dict[str, str]] = field(default_factory=list)
+    #: simulated seconds per iteration (iterative workloads)
+    iteration_seconds: List[float] = field(default_factory=list)
+    #: outcome of functional verification, if it ran
+    checks: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def devices_used(self) -> List[str]:
+        return sorted(set(self.bindings.values()))
+
+    def overhead_vs(self, ideal_seconds: float) -> float:
+        """The paper's overhead metric:
+        ``(T_scheduler_map − T_ideal_map) / T_ideal_map``."""
+        if ideal_seconds <= 0:
+            raise WorkloadError("ideal time must be positive")
+        return (self.seconds - ideal_seconds) / ideal_seconds

@@ -1,0 +1,34 @@
+"""SNU-NPB-MD style benchmarks over the simulated OpenCL runtime.
+
+One module per benchmark — BT, CG, EP, FT, MG, SP — each exposing an
+application class derived from :class:`repro.workloads.npb.common.NPBApplication`
+plus the queue-count restrictions and scheduler options of the paper's
+Table II.  :mod:`repro.workloads.npb.numerics` holds real (small-scale)
+reference numerics attached as functional payloads in functional mode.
+"""
+
+from repro.workloads.npb.bt import BT
+from repro.workloads.npb.cg import CG
+from repro.workloads.npb.ep import EP
+from repro.workloads.npb.ft import FT
+from repro.workloads.npb.mg import MG
+from repro.workloads.npb.sp import SP
+from repro.workloads.npb.common import (
+    NPBApplication,
+    run_npb,
+    BENCHMARKS,
+    get_benchmark,
+)
+
+__all__ = [
+    "BT",
+    "CG",
+    "EP",
+    "FT",
+    "MG",
+    "SP",
+    "NPBApplication",
+    "run_npb",
+    "BENCHMARKS",
+    "get_benchmark",
+]

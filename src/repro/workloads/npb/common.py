@@ -1,0 +1,265 @@
+"""Shared NPB driver machinery.
+
+Each benchmark subclasses :class:`NPBApplication` and provides: its
+(annotated) OpenCL-C program source, buffer/kernel setup, and a per-
+iteration enqueue method.  :func:`run_npb` then drives it through one of
+three modes:
+
+* ``manual`` — stock OpenCL: queues created ``SCHED_OFF`` and bound to an
+  explicit device list (the paper's baselines: CPU-only, GPU-only, the
+  round-robin variants of Fig. 4, and the single-device runs of Fig. 3);
+* ``auto`` — the MultiCL path: the *same* driver with the benchmark's
+  Table II scheduler options applied — the "about four source lines" the
+  paper modifies: context property, queue properties, explicit-region
+  start/stop via ``clSetCommandQueueSchedProperty``, and (BT, FT)
+  ``clSetKernelWorkGroupInfo`` calls;
+* ``round_robin`` — the ROUND_ROBIN global policy baseline.
+
+Iterative benchmarks run their warm-up iterations inside the explicit
+scheduling region and are then frozen on the chosen devices, exactly as
+described for the SNU-NPB evaluation (Section VI.B.1).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.flags import SchedulerConfig
+from repro.core.runtime import MultiCL
+from repro.hardware.specs import NodeSpec
+from repro.ocl.context import Context
+from repro.ocl.enums import ContextScheduler, SchedFlag
+from repro.ocl.kernel import Kernel
+from repro.ocl.queue import CommandQueue
+from repro.workloads.base import ProblemClass, QueueRule, WorkloadError, WorkloadRun
+
+__all__ = [
+    "NPBApplication",
+    "run_npb",
+    "kernel_source",
+    "BENCHMARKS",
+    "get_benchmark",
+    "register_benchmark",
+]
+
+
+def kernel_source(
+    name: str,
+    args: str,
+    annotations: Dict[str, object],
+    body: str = "/* modelled kernel body */",
+) -> str:
+    """Render one annotated toy OpenCL-C kernel."""
+    annot = " ".join(f"{k}={v}" for k, v in annotations.items())
+    return (
+        f"// @multicl {annot}\n"
+        f"__kernel void {name}({args}) {{\n"
+        f"  {body}\n"
+        f"}}\n"
+    )
+
+
+class NPBApplication(ABC):
+    """Base class for the six SNU-NPB-MD drivers."""
+
+    #: Benchmark name ("BT", "CG", ...).
+    NAME: str = "?"
+    #: Queue-count restriction (paper Table II).
+    QUEUE_RULE: QueueRule
+    #: Problem classes the benchmark supports (paper Table II).
+    VALID_CLASSES: Tuple[ProblemClass, ...] = ()
+    #: Local scheduler flags applied in auto mode (paper Table II), on top
+    #: of SCHED_AUTO_DYNAMIC.
+    TABLE2_FLAGS: SchedFlag = SchedFlag.SCHED_EXPLICIT_REGION
+    #: Whether the driver calls clSetKernelWorkGroupInfo (BT and FT).
+    USES_WORKGROUP_INFO: bool = False
+
+    def __init__(
+        self,
+        problem_class: ProblemClass,
+        num_queues: int,
+        functional: bool = False,
+        iterations_override: Optional[int] = None,
+    ) -> None:
+        problem_class = ProblemClass(problem_class)
+        if problem_class not in self.VALID_CLASSES:
+            raise WorkloadError(
+                f"{self.NAME} supports classes "
+                f"{[c.value for c in self.VALID_CLASSES]}, not {problem_class.value}"
+            )
+        self.QUEUE_RULE.validate(num_queues)
+        self.problem_class = problem_class
+        self.num_queues = num_queues
+        self.functional = functional
+        self._iterations_override = iterations_override
+        # Populated by setup():
+        self.context: Optional[Context] = None
+        self.queues: List[CommandQueue] = []
+        self.kernels: Dict[str, Kernel] = {}
+        self.checks: Dict[str, object] = {}
+
+    # ------------------------------------------------------------------
+    # Subclass surface
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def generate_source(self) -> str:
+        """The benchmark's annotated OpenCL-C program source."""
+
+    @abstractmethod
+    def setup(self, context: Context, queues: Sequence[CommandQueue]) -> None:
+        """Create buffers/kernels and enqueue initial data writes.
+
+        Called before any scheduling region starts, so initial writes land
+        on the queues' creation-time devices (the SnuCL behaviour)."""
+
+    @abstractmethod
+    def enqueue_iteration(self, it: int) -> None:
+        """Enqueue one time step / outer iteration on all queues."""
+
+    @property
+    @abstractmethod
+    def default_iterations(self) -> int:
+        """NPB iteration count for the current problem class."""
+
+    def finalize(self) -> None:
+        """Read back results; populate ``self.checks`` in functional mode."""
+
+    # ------------------------------------------------------------------
+    # Common helpers
+    # ------------------------------------------------------------------
+    @property
+    def iterations(self) -> int:
+        if self._iterations_override is not None:
+            return max(1, self._iterations_override)
+        return self.default_iterations
+
+    #: Iterations profiled inside the explicit scheduling region.
+    warmup_iterations: int = 1
+
+    def apply_workgroup_info(self) -> None:
+        """BT/FT hook: set per-device launch configurations."""
+
+    def finish_all(self) -> None:
+        assert self.context is not None
+        for q in self.queues:
+            q.finish()
+
+
+# ---------------------------------------------------------------------------
+# Benchmark registry
+# ---------------------------------------------------------------------------
+BENCHMARKS: Dict[str, type] = {}
+
+
+def register_benchmark(cls: type) -> type:
+    BENCHMARKS[cls.NAME] = cls
+    return cls
+
+
+def get_benchmark(name: str) -> type:
+    try:
+        return BENCHMARKS[name.upper()]
+    except KeyError:
+        raise WorkloadError(f"unknown benchmark {name!r}; have {sorted(BENCHMARKS)}")
+
+
+# ---------------------------------------------------------------------------
+# Driver
+# ---------------------------------------------------------------------------
+def run_npb(
+    app: NPBApplication,
+    mode: str = "auto",
+    devices: Optional[Sequence[str]] = None,
+    node_spec: Optional[NodeSpec] = None,
+    config: Optional[SchedulerConfig] = None,
+    profile_dir: Optional[str] = None,
+    auto_flags: Optional[SchedFlag] = None,
+) -> WorkloadRun:
+    """Run ``app`` on a fresh simulated platform; see module docstring.
+
+    ``auto_flags`` overrides the queue scheduling flags used in auto mode
+    (default: ``SCHED_AUTO_DYNAMIC | app.TABLE2_FLAGS``) — used by the
+    static-vs-dynamic ablation.
+    """
+    if mode not in ("manual", "auto", "round_robin"):
+        raise WorkloadError(f"unknown mode {mode!r}")
+    policy = {
+        "manual": None,
+        "auto": ContextScheduler.AUTO_FIT,
+        "round_robin": ContextScheduler.ROUND_ROBIN,
+    }[mode]
+    mcl = MultiCL(
+        node_spec=node_spec, policy=policy, config=config, profile_dir=profile_dir
+    )
+    ndev = len(mcl.device_names)
+
+    queues: List[CommandQueue] = []
+    if mode == "manual":
+        if devices is None:
+            raise WorkloadError("manual mode requires a device list")
+        if len(devices) != app.num_queues:
+            raise WorkloadError(
+                f"need {app.num_queues} devices, got {len(devices)}"
+            )
+        for i in range(app.num_queues):
+            queues.append(
+                mcl.queue(device=devices[i], flags=SchedFlag.SCHED_OFF, name=f"q{i}")
+            )
+        queue_flags = SchedFlag.SCHED_OFF
+    else:
+        queue_flags = (
+            auto_flags
+            if auto_flags is not None
+            else SchedFlag.SCHED_AUTO_DYNAMIC | app.TABLE2_FLAGS
+        )
+        for i in range(app.num_queues):
+            # SnuCL-style creation: an initial device is still named.
+            initial = mcl.device_names[i % ndev]
+            queues.append(mcl.queue(device=initial, flags=queue_flags, name=f"q{i}"))
+
+    app.setup(mcl.context, queues)
+    if app.USES_WORKGROUP_INFO and mode != "manual":
+        app.apply_workgroup_info()
+
+    explicit_region = bool(queue_flags & SchedFlag.SCHED_EXPLICIT_REGION)
+    iter_times: List[float] = []
+    t0 = mcl.now
+
+    def run_iteration(it: int) -> None:
+        t_it = mcl.now
+        app.enqueue_iteration(it)
+        app.finish_all()
+        iter_times.append(mcl.now - t_it)
+
+    if mode != "manual" and explicit_region:
+        # The ~4-line change: bracket the warm-up with the proposed
+        # clSetCommandQueueSchedProperty calls.
+        for q in queues:
+            q.set_sched_property(SchedFlag.SCHED_AUTO_DYNAMIC)
+        for it in range(min(app.warmup_iterations, app.iterations)):
+            run_iteration(it)
+        for q in queues:
+            q.set_sched_property(SchedFlag.SCHED_OFF)
+        start = min(app.warmup_iterations, app.iterations)
+    else:
+        start = 0
+    for it in range(start, app.iterations):
+        run_iteration(it)
+
+    app.finalize()
+    app.finish_all()
+    t1 = mcl.now
+
+    return WorkloadRun(
+        name=app.NAME,
+        problem_class=app.problem_class.value,
+        num_queues=app.num_queues,
+        mode=mode,
+        seconds=t1 - t0,
+        stats=mcl.stats_between(t0, t1),
+        bindings={q.name: q.device for q in queues},
+        mappings=mcl.scheduler_mappings(),
+        iteration_seconds=iter_times,
+        checks=dict(app.checks),
+    )

@@ -1,0 +1,408 @@
+"""Reference numerics for the NPB benchmarks (small-scale, real).
+
+The simulated devices charge *modelled* time, but in functional mode each
+benchmark also computes real numbers so correctness is testable:
+
+* :func:`randlc` / :func:`vranlc` — NPB's 48-bit linear congruential
+  generator (the double-precision formulation from the original suite);
+* :func:`ep_tally` — EP's gaussian-pair acceptance/annulus counting;
+* :func:`make_poisson_csr` / :func:`conjugate_gradient` — CG's sparse
+  solver substrate (hand-rolled CG, no scipy dependency);
+* :func:`ft_evolve` — FT's frequency-space evolution + inverse FFT with
+  NPB-style checksums;
+* :func:`mg_vcycle` — MG's 3-D V-cycle (residual, smoother, restriction,
+  prolongation);
+* :func:`adi_step` / :func:`thomas` — the dimension-split tridiagonal
+  solves underlying BT and SP (BT solves block systems, SP scalar
+  pentadiagonal; both are represented by scalar tridiagonal line solves of
+  a 3-D diffusion operator, which exercises the same sweep structure).
+
+Everything here is deterministic and exercised directly by unit tests.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+__all__ = [
+    "randlc",
+    "vranlc",
+    "vranlc_fast",
+    "ipow46",
+    "ep_tally",
+    "make_poisson_csr",
+    "csr_matvec",
+    "conjugate_gradient",
+    "ft_indexmap",
+    "ft_evolve",
+    "mg_residual",
+    "mg_smooth",
+    "mg_restrict",
+    "mg_prolongate",
+    "mg_vcycle",
+    "thomas",
+    "adi_step",
+]
+
+# ---------------------------------------------------------------------------
+# NPB 48-bit LCG  (x_{k+1} = a * x_k mod 2^46, double-precision arithmetic)
+# ---------------------------------------------------------------------------
+_R23 = 2.0 ** -23
+_T23 = 2.0 ** 23
+_R46 = 2.0 ** -46
+_T46 = 2.0 ** 46
+
+#: NPB's default multiplier a = 5^13.
+LCG_A = float(5 ** 13)
+
+
+def randlc(x: float, a: float = LCG_A) -> Tuple[float, float]:
+    """One step of the NPB LCG.
+
+    Returns ``(uniform, new_seed)`` where ``uniform`` is in (0, 1).  This is
+    a faithful transcription of NPB's ``randlc``: the 46-bit product is
+    formed from 23-bit halves to stay exact in double precision.
+    """
+    a1 = math.floor(_R23 * a)
+    a2 = a - _T23 * a1
+    x1 = math.floor(_R23 * x)
+    x2 = x - _T23 * x1
+    t1 = a1 * x2 + a2 * x1
+    t2 = math.floor(_R23 * t1)
+    z = t1 - _T23 * t2
+    t3 = _T23 * z + a2 * x2
+    t4 = math.floor(_R46 * t3)
+    x = t3 - _T46 * t4
+    return _R46 * x, x
+
+
+def vranlc(n: int, x: float, a: float = LCG_A) -> Tuple[np.ndarray, float]:
+    """Generate ``n`` successive uniforms; returns (array, new_seed)."""
+    out = np.empty(n, dtype=np.float64)
+    for i in range(n):
+        out[i], x = randlc(x, a)
+    return out, x
+
+
+def _mul46(x: np.ndarray, a: float) -> np.ndarray:
+    """Elementwise ``a * x mod 2^46`` in the LCG's exact double arithmetic."""
+    a1 = math.floor(_R23 * a)
+    a2 = a - _T23 * a1
+    x1 = np.floor(_R23 * x)
+    x2 = x - _T23 * x1
+    t1 = a1 * x2 + a2 * x1
+    t2 = np.floor(_R23 * t1)
+    z = t1 - _T23 * t2
+    t3 = _T23 * z + a2 * x2
+    t4 = np.floor(_R46 * t3)
+    return t3 - _T46 * t4
+
+
+def vranlc_fast(n: int, x: float, a: float = LCG_A) -> Tuple[np.ndarray, float]:
+    """Vectorised :func:`vranlc`: same stream, O(n log n) numpy work.
+
+    The k-th output seed is ``a^(k+1) · x mod 2^46``; instead of chaining n
+    sequential multiplications we decompose each exponent in binary and
+    apply the precomputed ``a^(2^j)`` factors to the whole vector at once —
+    ~log2(n) vectorised passes.  Bit-for-bit identical to the scalar
+    generator (the double-precision modular product is exact), which the
+    test suite asserts.
+    """
+    if n <= 0:
+        raise ValueError("n must be positive")
+    exponents = np.arange(1, n + 1, dtype=np.int64)
+    seeds = np.full(n, float(x))
+    factor = a  # a^(2^j), advanced by squaring
+    bit = 1
+    max_exp = int(exponents[-1])
+    while bit <= max_exp:
+        mask = (exponents & bit) != 0
+        if mask.any():
+            seeds[mask] = _mul46(seeds[mask], factor)
+        bit <<= 1
+        if bit <= max_exp:
+            _, factor = randlc(factor, factor)
+    return _R46 * seeds, float(seeds[-1])
+
+
+def ipow46(a: float, exponent: int) -> float:
+    """Compute ``a ** exponent mod 2^46`` in the LCG's arithmetic.
+
+    NPB uses this to jump the generator ahead so independent chunks (here:
+    per-command-queue chunks) can be generated without serialising.
+    """
+    if exponent < 0:
+        raise ValueError("exponent must be non-negative")
+    result = 1.0
+    base = a
+    e = exponent
+    while e > 0:
+        if e % 2 == 1:
+            _, result = randlc(result, base)
+        _, base = randlc(base, base)
+        e //= 2
+    return result
+
+
+def ep_tally(n_pairs: int, seed: float = 271828183.0) -> Dict[str, object]:
+    """EP's core: gaussian deviates by acceptance-rejection, annulus counts.
+
+    Generates ``2 * n_pairs`` uniforms with the NPB LCG, maps to (-1, 1),
+    accepts pairs with t = x²+y² ≤ 1, forms gaussian deviates
+    X = x·√(−2·ln t / t), Y likewise, and counts pairs into ten square
+    annuli by ⌊max(|X|, |Y|)⌋.  Returns sums and counts.
+    """
+    if n_pairs <= 0:
+        raise ValueError("n_pairs must be positive")
+    u, _ = vranlc_fast(2 * n_pairs, seed)
+    x = 2.0 * u[0::2] - 1.0
+    y = 2.0 * u[1::2] - 1.0
+    t = x * x + y * y
+    accept = t <= 1.0
+    xt, yt, tt = x[accept], y[accept], t[accept]
+    factor = np.sqrt(-2.0 * np.log(tt) / tt)
+    gx = xt * factor
+    gy = yt * factor
+    l = np.minimum(np.floor(np.maximum(np.abs(gx), np.abs(gy))).astype(int), 9)
+    counts = np.bincount(l, minlength=10)[:10]
+    return {
+        "sx": float(gx.sum()),
+        "sy": float(gy.sum()),
+        "counts": counts,
+        "accepted": int(accept.sum()),
+    }
+
+
+# ---------------------------------------------------------------------------
+# CG: sparse SPD system + hand-rolled conjugate gradient
+# ---------------------------------------------------------------------------
+def make_poisson_csr(n: int) -> Tuple[np.ndarray, np.ndarray, np.ndarray, int]:
+    """5-point 2-D Poisson matrix on an n×n grid in CSR form.
+
+    Returns ``(data, indices, indptr, size)`` with ``size = n*n``.  SPD by
+    construction, so CG converges — the same property NPB's CG matrix has.
+    """
+    if n < 2:
+        raise ValueError("grid must be at least 2x2")
+    size = n * n
+    data: List[float] = []
+    indices: List[int] = []
+    indptr = [0]
+    for i in range(n):
+        for j in range(n):
+            row = i * n + j
+            entries = [(row, 4.0)]
+            if i > 0:
+                entries.append((row - n, -1.0))
+            if i < n - 1:
+                entries.append((row + n, -1.0))
+            if j > 0:
+                entries.append((row - 1, -1.0))
+            if j < n - 1:
+                entries.append((row + 1, -1.0))
+            for col, v in sorted(entries):
+                indices.append(col)
+                data.append(v)
+            indptr.append(len(data))
+    return (
+        np.asarray(data, dtype=np.float64),
+        np.asarray(indices, dtype=np.int64),
+        np.asarray(indptr, dtype=np.int64),
+        size,
+    )
+
+
+def csr_matvec(
+    data: np.ndarray, indices: np.ndarray, indptr: np.ndarray, x: np.ndarray
+) -> np.ndarray:
+    """y = A @ x for a CSR matrix (vectorised with reduceat)."""
+    contrib = data * x[indices]
+    # indptr[:-1] marks row starts; empty rows would need care, ours have none.
+    y = np.add.reduceat(contrib, indptr[:-1])
+    return y
+
+
+def conjugate_gradient(
+    data: np.ndarray,
+    indices: np.ndarray,
+    indptr: np.ndarray,
+    b: np.ndarray,
+    iterations: int = 25,
+) -> Tuple[np.ndarray, List[float]]:
+    """Plain CG; returns the iterate and the residual-norm history."""
+    x = np.zeros_like(b)
+    r = b.copy()
+    p = r.copy()
+    rho = float(r @ r)
+    history = [math.sqrt(rho)]
+    for _ in range(iterations):
+        q = csr_matvec(data, indices, indptr, p)
+        denom = float(p @ q)
+        if denom == 0.0:
+            break
+        alpha = rho / denom
+        x += alpha * p
+        r -= alpha * q
+        rho_new = float(r @ r)
+        history.append(math.sqrt(rho_new))
+        if rho_new == 0.0:
+            break
+        p = r + (rho_new / rho) * p
+        rho = rho_new
+    return x, history
+
+
+# ---------------------------------------------------------------------------
+# FT: frequency-space evolution
+# ---------------------------------------------------------------------------
+def ft_indexmap(shape: Tuple[int, int, int]) -> np.ndarray:
+    """NPB FT's exponent index map: squared wavenumber distance per mode."""
+    nx, ny, nz = shape
+    kx = np.minimum(np.arange(nx), nx - np.arange(nx)) ** 2
+    ky = np.minimum(np.arange(ny), ny - np.arange(ny)) ** 2
+    kz = np.minimum(np.arange(nz), nz - np.arange(nz)) ** 2
+    return (
+        kx[:, None, None] + ky[None, :, None] + kz[None, None, :]
+    ).astype(np.float64)
+
+
+def ft_evolve(
+    u0_hat: np.ndarray, indexmap: np.ndarray, alpha: float, step: int
+) -> Tuple[np.ndarray, complex]:
+    """One FT iteration: decay modes in frequency space, inverse FFT,
+    NPB-style checksum over a scattered index set."""
+    decay = np.exp(-4.0 * alpha * (math.pi ** 2) * indexmap * step)
+    u1_hat = u0_hat * decay
+    x = np.fft.ifftn(u1_hat)
+    nx, ny, nz = x.shape
+    csum = 0.0 + 0.0j
+    for j in range(1, 1025):
+        q = j % nx
+        r = (3 * j) % ny
+        s = (5 * j) % nz
+        csum += x[q, r, s]
+    return x, csum / (nx * ny * nz)
+
+
+# ---------------------------------------------------------------------------
+# MG: 3-D multigrid V-cycle pieces
+# ---------------------------------------------------------------------------
+def mg_residual(u: np.ndarray, v: np.ndarray, h: float) -> np.ndarray:
+    """r = v - A u with A the 7-point Laplacian (Dirichlet walls)."""
+    r = np.zeros_like(u)
+    lap = (
+        u[:-2, 1:-1, 1:-1]
+        + u[2:, 1:-1, 1:-1]
+        + u[1:-1, :-2, 1:-1]
+        + u[1:-1, 2:, 1:-1]
+        + u[1:-1, 1:-1, :-2]
+        + u[1:-1, 1:-1, 2:]
+        - 6.0 * u[1:-1, 1:-1, 1:-1]
+    ) / (h * h)
+    r[1:-1, 1:-1, 1:-1] = v[1:-1, 1:-1, 1:-1] - (-lap)
+    return r
+
+
+def mg_smooth(u: np.ndarray, v: np.ndarray, h: float, sweeps: int = 2) -> np.ndarray:
+    """Damped-Jacobi smoothing for -∆u = v."""
+    omega = 0.8
+    for _ in range(sweeps):
+        neigh = (
+            u[:-2, 1:-1, 1:-1]
+            + u[2:, 1:-1, 1:-1]
+            + u[1:-1, :-2, 1:-1]
+            + u[1:-1, 2:, 1:-1]
+            + u[1:-1, 1:-1, :-2]
+            + u[1:-1, 1:-1, 2:]
+        )
+        jac = (neigh + h * h * v[1:-1, 1:-1, 1:-1]) / 6.0
+        u = u.copy()
+        u[1:-1, 1:-1, 1:-1] = (1 - omega) * u[1:-1, 1:-1, 1:-1] + omega * jac
+    return u
+
+
+def mg_restrict(r: np.ndarray) -> np.ndarray:
+    """Full-weighting restriction to the next coarser grid (size (n//2)+1)."""
+    return r[::2, ::2, ::2].copy()
+
+
+def mg_prolongate(e: np.ndarray, fine_shape: Tuple[int, int, int]) -> np.ndarray:
+    """Trilinear prolongation back to the fine grid."""
+    out = np.zeros(fine_shape, dtype=e.dtype)
+    out[::2, ::2, ::2] = e
+    # interpolate along each axis in turn
+    out[1::2, :, :] = 0.5 * (out[0:-1:2, :, :] + out[2::2, :, :])
+    out[:, 1::2, :] = 0.5 * (out[:, 0:-1:2, :] + out[:, 2::2, :])
+    out[:, :, 1::2] = 0.5 * (out[:, :, 0:-1:2] + out[:, :, 2::2])
+    return out
+
+
+def mg_vcycle(u: np.ndarray, v: np.ndarray, h: float, min_size: int = 3) -> np.ndarray:
+    """One V-cycle for -∆u = v on a (2^k + 1)³ grid."""
+    u = mg_smooth(u, v, h)
+    if u.shape[0] <= min_size:
+        return mg_smooth(u, v, h, sweeps=8)
+    r = mg_residual(u, v, h)
+    rc = mg_restrict(r)
+    ec = mg_vcycle(np.zeros_like(rc), rc, 2 * h, min_size)
+    u = u + mg_prolongate(ec, u.shape)
+    return mg_smooth(u, v, h)
+
+
+# ---------------------------------------------------------------------------
+# BT/SP: dimension-split implicit diffusion (ADI with Thomas solves)
+# ---------------------------------------------------------------------------
+def thomas(
+    lower: np.ndarray, diag: np.ndarray, upper: np.ndarray, rhs: np.ndarray
+) -> np.ndarray:
+    """Tridiagonal solve along the *last* axis of ``rhs`` (batched).
+
+    ``lower[0]`` and ``upper[-1]`` are ignored.  Standard Thomas algorithm,
+    vectorised over leading axes.
+    """
+    n = rhs.shape[-1]
+    if not (lower.shape[-1] == diag.shape[-1] == upper.shape[-1] == n):
+        raise ValueError("band shapes must match rhs")
+    cp = np.zeros_like(rhs)
+    dp = np.zeros_like(rhs)
+    cp[..., 0] = upper[..., 0] / diag[..., 0]
+    dp[..., 0] = rhs[..., 0] / diag[..., 0]
+    for i in range(1, n):
+        denom = diag[..., i] - lower[..., i] * cp[..., i - 1]
+        cp[..., i] = upper[..., i] / denom
+        dp[..., i] = (rhs[..., i] - lower[..., i] * dp[..., i - 1]) / denom
+    x = np.zeros_like(rhs)
+    x[..., -1] = dp[..., -1]
+    for i in range(n - 2, -1, -1):
+        x[..., i] = dp[..., i] - cp[..., i] * x[..., i + 1]
+    return x
+
+
+def adi_step(u: np.ndarray, dt: float, h: float) -> np.ndarray:
+    """One ADI (dimension-split implicit Euler) step of 3-D diffusion.
+
+    Solves (I − dt·∂²/∂x²)(I − dt·∂²/∂y²)(I − dt·∂²/∂z²) u⁺ = u with
+    Dirichlet boundaries, one tridiagonal sweep per dimension — the solve
+    structure of BT's x/y/z_solve and SP's sweeps.
+    """
+    lam = dt / (h * h)
+    out = u.copy()
+    for axis in range(3):
+        moved = np.moveaxis(out, axis, -1)
+        n = moved.shape[-1]
+        lower = np.full(n, -lam)
+        diag = np.full(n, 1.0 + 2.0 * lam)
+        upper = np.full(n, -lam)
+        # Dirichlet walls: keep boundary values fixed.
+        diag[0] = diag[-1] = 1.0
+        upper[0] = lower[-1] = 0.0
+        lower[0] = upper[-1] = 0.0
+        shape = (1,) * (moved.ndim - 1) + (n,)
+        solved = thomas(
+            lower.reshape(shape), diag.reshape(shape), upper.reshape(shape), moved
+        )
+        out = np.moveaxis(solved, -1, axis)
+    return out

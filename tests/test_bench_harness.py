@@ -1,0 +1,85 @@
+"""Experiment-result records, table rendering, and the CLI."""
+
+import pytest
+
+from repro.bench.__main__ import main as bench_main
+from repro.bench.figures import EXPERIMENTS, run_experiment
+from repro.bench.harness import ExperimentResult, format_table
+
+
+def _result():
+    res = ExperimentResult(
+        name="x", title="Demo", columns=["a", "b"],
+    )
+    res.add(a=1, b=2.5)
+    res.add(a="row2", b=0.0001)
+    res.notes.append("a note")
+    return res
+
+
+def test_add_and_column():
+    res = _result()
+    assert res.column("a") == [1, "row2"]
+    assert res.column("missing") == [None, None]
+
+
+def test_row_for():
+    res = _result()
+    assert res.row_for(a=1)["b"] == 2.5
+    with pytest.raises(KeyError):
+        res.row_for(a="nope")
+
+
+def test_render_contains_everything():
+    text = _result().render()
+    assert "Demo" in text
+    assert "row2" in text
+    assert "note: a note" in text
+
+
+def test_format_table_alignment():
+    text = format_table("T", ["col"], [{"col": "v"}], None)
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert lines[2].startswith("col")
+    assert lines[3].startswith("---")
+
+
+def test_format_table_empty_rows():
+    text = format_table("T", ["col"], [], ["empty"])
+    assert "col" in text and "note: empty" in text
+
+
+def test_float_formatting():
+    text = format_table("T", ["v"], [{"v": 1234.5678}, {"v": 0.000012}], None)
+    assert "1.23e+03" in text and "1.2e-05" in text
+
+
+def test_experiments_registry():
+    expected = {
+        "fig3", "table1", "table2", "fig4", "fig5", "fig6", "fig7", "fig8",
+        "fig9", "fig10", "ablations", "robustness", "cluster", "baselines", "loc",
+    }
+    assert set(EXPERIMENTS) == expected
+
+
+def test_run_experiment_unknown():
+    with pytest.raises(KeyError):
+        run_experiment("fig99")
+
+
+def test_cli_list(capsys):
+    assert bench_main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "fig4" in out and "fig9" in out
+
+
+def test_cli_unknown_experiment(capsys):
+    assert bench_main(["fig99"]) == 2
+
+
+def test_cli_runs_cheap_experiment(capsys):
+    assert bench_main(["loc"]) == 0
+    out = capsys.readouterr().out
+    assert "average lines changed" in out
+    assert "regenerated in" in out

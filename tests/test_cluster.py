@@ -1,0 +1,199 @@
+"""SnuCL cluster mode: specs, composite transfers, distance-aware mapping."""
+
+import pytest
+
+from repro.cluster import ClusterSpec, SimCluster, two_node_cluster
+from repro.core.runtime import MultiCL
+from repro.hardware.presets import aji_cluster15_node, cpu_only_node
+from repro.hardware.specs import HardwareError
+from repro.ocl.enums import ContextScheduler, SchedFlag
+from repro.sim.engine import SimEngine
+
+COMPUTE_SRC = """
+// @multicl flops_per_item=2000 bytes_per_item=4 writes=1
+__kernel void crunch(__global float* a, __global float* b, int n) { }
+"""
+IO_SRC = """
+// @multicl flops_per_item=2 bytes_per_item=16 writes=1
+__kernel void touch(__global float* a, __global float* b, int n) { }
+"""
+
+DYN = SchedFlag.SCHED_AUTO_DYNAMIC | SchedFlag.SCHED_KERNEL_EPOCH
+
+
+# ---------------------------------------------------------------------------
+# Spec
+# ---------------------------------------------------------------------------
+def test_empty_cluster_rejected():
+    with pytest.raises(HardwareError):
+        ClusterSpec(name="x", nodes=())
+
+
+def test_flattened_names_and_links():
+    spec = two_node_cluster().flattened()
+    assert "cpu" in spec.device_names  # root devices keep plain names
+    assert "node1.gpu0" in spec.device_names
+    # Per-node link names stay distinct.
+    assert spec.host_links["gpu0"].name != spec.host_links["node1.gpu0"].name
+
+
+def test_device_node_index():
+    c = two_node_cluster()
+    assert c.device_node_index("cpu") == 0
+    assert c.device_node_index("node1.gpu1") == 1
+    with pytest.raises(HardwareError):
+        c.device_node_index("node9.gpu0")
+    with pytest.raises(HardwareError):
+        c.device_node_index("nodeX.gpu0")
+
+
+def test_remote_gpus_only_filter():
+    c = two_node_cluster(remote_gpus_only=True)
+    assert all(d.kind.value == "gpu" for d in c.nodes[1].devices)
+    full = two_node_cluster(remote_gpus_only=False)
+    assert any(d.kind.value == "cpu" for d in full.nodes[1].devices)
+
+
+# ---------------------------------------------------------------------------
+# SimCluster transfers
+# ---------------------------------------------------------------------------
+@pytest.fixture
+def cluster():
+    engine = SimEngine()
+    return engine, SimCluster(engine, two_node_cluster())
+
+
+def test_local_transfers_unchanged(cluster):
+    engine, c = cluster
+    nbytes = 1 << 24
+    local = c.h2d_seconds("gpu0", nbytes)
+    assert local == pytest.approx(
+        SimCluster(SimEngine(), two_node_cluster()).h2d_seconds("gpu0", nbytes)
+    )
+    task = c.submit_h2d("gpu0", nbytes)
+    engine.run_until(task)
+    assert engine.now == pytest.approx(local)
+
+
+def test_remote_h2d_adds_network_hop(cluster):
+    engine, c = cluster
+    nbytes = 1 << 24
+    assert c.is_remote("node1.gpu0") and not c.is_remote("gpu0")
+    remote = c.h2d_seconds("node1.gpu0", nbytes)
+    local = c.h2d_seconds("gpu0", nbytes)
+    assert remote > local
+    t = c.submit_h2d("node1.gpu0", nbytes)
+    engine.run_until(t)
+    assert engine.now == pytest.approx(remote)
+    # The trace shows both hops.
+    directions = [iv.meta.get("direction") for iv in engine.trace]
+    assert "net-out" in directions and "h2d" in directions
+
+
+def test_remote_d2h_symmetric(cluster):
+    engine, c = cluster
+    nbytes = 1 << 22
+    assert c.d2h_seconds("node1.gpu1", nbytes) == pytest.approx(
+        c.h2d_seconds("node1.gpu1", nbytes)
+    )
+
+
+def test_remote_to_remote_crosses_network_twice(cluster):
+    engine, c = cluster
+    nbytes = 1 << 22
+    cross = c.d2d_seconds("node1.gpu0", "gpu0", nbytes)
+    assert cross == pytest.approx(
+        c.d2h_seconds("node1.gpu0", nbytes) + c.h2d_seconds("gpu0", nbytes)
+    )
+    rr = c.d2d_seconds("node1.gpu0", "node1.gpu1", nbytes)
+    assert rr > c.d2d_seconds("gpu0", "gpu1", nbytes)
+
+
+def test_nic_contention_serialises_per_node(cluster):
+    engine, c = cluster
+    nbytes = 1 << 24
+    a = c.submit_h2d("node1.gpu0", nbytes)
+    b = c.submit_h2d("node1.gpu1", nbytes)
+    engine.run_until_idle()
+    net = c._net_seconds(nbytes)
+    # The second transfer's network hop waited for the first.
+    assert b.end_time - a.end_time >= net * 0.99
+
+
+# ---------------------------------------------------------------------------
+# Scheduling over the cluster
+# ---------------------------------------------------------------------------
+def _kernel(mcl, src, name, n=1 << 20):
+    ctx = mcl.context
+    prog = ctx.create_program(src).build()
+    k = prog.create_kernel(name)
+    a = ctx.create_buffer(4 * n)
+    b = ctx.create_buffer(4 * n)
+    k.set_arg(0, a)
+    k.set_arg(1, b)
+    k.set_arg(2, n)
+    return k, a, n
+
+
+def test_profile_measures_remote_distance(tmp_path):
+    mcl = MultiCL(
+        node_spec=two_node_cluster(),
+        policy=ContextScheduler.AUTO_FIT,
+        profile_dir=str(tmp_path),
+    )
+    prof = mcl.platform.device_profile
+    nbytes = 64 << 20
+    assert prof.h2d_seconds("node1.gpu0", nbytes) > 2 * prof.h2d_seconds(
+        "gpu0", nbytes
+    )
+    # Compute throughput is unaffected by distance.
+    assert prof.gflops["node1.gpu0"] == pytest.approx(prof.gflops["gpu0"], rel=0.01)
+
+
+def test_compute_heavy_pool_spreads_to_remote_gpus(tmp_path):
+    mcl = MultiCL(
+        node_spec=two_node_cluster(),
+        policy=ContextScheduler.AUTO_FIT,
+        profile_dir=str(tmp_path),
+    )
+    k, _, n = _kernel(mcl, COMPUTE_SRC, "crunch", n=1 << 21)
+    queues = [mcl.queue(flags=DYN, name=f"q{i}") for i in range(6)]
+    for q in queues:
+        for _ in range(4):
+            q.enqueue_nd_range_kernel(k, (n,), (128,))
+    for q in queues:
+        q.finish()
+    used = {q.device for q in queues}
+    assert any(d.startswith("node1.") for d in used), used
+    assert "gpu0" in used  # local GPUs used too
+
+
+def test_transfer_heavy_work_stays_local(tmp_path):
+    """A queue whose data sits on the host and whose kernels are trivial
+    must not be shipped across the network."""
+    mcl = MultiCL(
+        node_spec=two_node_cluster(),
+        policy=ContextScheduler.AUTO_FIT,
+        profile_dir=str(tmp_path),
+    )
+    ctx = mcl.context
+    prog = ctx.create_program(IO_SRC).build()
+    n = 1 << 22
+    k = prog.create_kernel("touch")
+    a = ctx.create_buffer(4 * n)
+    b = ctx.create_buffer(4 * n)
+    a.mark_valid("host")
+    k.set_arg(0, a)
+    k.set_arg(1, b)
+    k.set_arg(2, n)
+    q = mcl.queue(flags=DYN)
+    q.enqueue_nd_range_kernel(k, (n,), (128,))
+    q.finish()
+    assert not q.device.startswith("node1.")
+
+
+def test_single_node_cluster_degenerates_to_node(tmp_path):
+    c = ClusterSpec(name="solo", nodes=(cpu_only_node(),))
+    mcl = MultiCL(node_spec=c, policy=ContextScheduler.AUTO_FIT,
+                  profile_dir=str(tmp_path))
+    assert list(mcl.device_names) == ["cpu"]

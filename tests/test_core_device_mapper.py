@@ -1,0 +1,163 @@
+"""Device mapper: exact makespan minimisation.
+
+The paper claims MultiCL "always maps command queues to the optimal device
+combination" — here that is a testable property: the production solver must
+match the brute-force oracle on every instance.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.device_mapper import (
+    MapperError,
+    MappingResult,
+    brute_force_mapping,
+    optimal_mapping,
+)
+
+
+def _cost(rows):
+    """rows: {queue: {device: cost}}"""
+    return rows
+
+
+def test_single_queue_picks_cheapest():
+    cost = _cost({"q0": {"cpu": 3.0, "gpu": 1.0}})
+    res = optimal_mapping(["q0"], ["cpu", "gpu"], cost)
+    assert res.mapping == {"q0": "gpu"}
+    assert res.makespan == 1.0
+
+
+def test_balances_load_across_devices():
+    cost = {
+        "q0": {"a": 1.0, "b": 1.0},
+        "q1": {"a": 1.0, "b": 1.0},
+        "q2": {"a": 1.0, "b": 1.0},
+        "q3": {"a": 1.0, "b": 1.0},
+    }
+    res = optimal_mapping(list(cost), ["a", "b"], cost)
+    assert res.makespan == pytest.approx(2.0)
+    loads = res.device_loads(cost)
+    assert loads == {"a": 2.0, "b": 2.0}
+
+
+def test_heterogeneous_example_from_paper_shape():
+    # 4 queues; CPU 1s per queue, GPU 2.5s per queue; two GPUs.
+    cost = {
+        f"q{i}": {"cpu": 1.0, "gpu0": 2.5, "gpu1": 2.5} for i in range(4)
+    }
+    res = optimal_mapping(list(cost), ["cpu", "gpu0", "gpu1"], cost)
+    # Optimal: 2 on cpu (2.0), 1 on each gpu (2.5) -> makespan 2.5;
+    # vs all-cpu 4.0.
+    assert res.makespan == pytest.approx(2.5)
+
+
+def test_infeasible_device_avoided():
+    cost = {
+        "q0": {"cpu": 5.0, "gpu": math.inf},
+        "q1": {"cpu": 1.0, "gpu": 1.0},
+    }
+    res = optimal_mapping(["q0", "q1"], ["cpu", "gpu"], cost)
+    assert res.mapping["q0"] == "cpu"
+
+
+def test_all_infeasible_rejected():
+    cost = {"q0": {"cpu": math.inf, "gpu": math.inf}}
+    with pytest.raises(MapperError):
+        optimal_mapping(["q0"], ["cpu", "gpu"], cost)
+    with pytest.raises(MapperError):
+        brute_force_mapping(["q0"], ["cpu", "gpu"], cost)
+
+
+def test_empty_inputs_rejected():
+    with pytest.raises(MapperError):
+        optimal_mapping([], ["cpu"], {})
+    with pytest.raises(MapperError):
+        optimal_mapping(["q0"], [], {"q0": {}})
+    with pytest.raises(MapperError):
+        optimal_mapping(["q0"], ["cpu"], {})
+
+
+def test_tie_break_prefers_current_binding():
+    cost = {"q0": {"a": 1.0, "b": 1.0}}
+    res = optimal_mapping(["q0"], ["a", "b"], cost, preferred={"q0": "b"})
+    assert res.mapping["q0"] == "b"
+    res2 = optimal_mapping(["q0"], ["a", "b"], cost, preferred={"q0": "a"})
+    assert res2.mapping["q0"] == "a"
+
+
+def test_tie_break_never_sacrifices_makespan():
+    cost = {"q0": {"a": 1.0, "b": 5.0}}
+    res = optimal_mapping(["q0"], ["a", "b"], cost, preferred={"q0": "b"})
+    assert res.mapping["q0"] == "a"
+
+
+def test_device_loads_helper():
+    cost = {"q0": {"a": 1.0}, "q1": {"a": 2.0}}
+    res = MappingResult(mapping={"q0": "a", "q1": "a"}, makespan=3.0)
+    assert res.device_loads(cost) == {"a": 3.0}
+
+
+def test_pruning_explores_less_than_brute_force():
+    cost = {
+        f"q{i}": {d: 1.0 + 0.1 * i for d in ("a", "b", "c")} for i in range(7)
+    }
+    opt = optimal_mapping(list(cost), ["a", "b", "c"], cost)
+    brute = brute_force_mapping(list(cost), ["a", "b", "c"], cost)
+    assert opt.makespan == pytest.approx(brute.makespan)
+    assert opt.explored < brute.explored
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    n_queues=st.integers(min_value=1, max_value=5),
+    n_devices=st.integers(min_value=1, max_value=3),
+    data=st.data(),
+)
+def test_optimal_matches_brute_force(n_queues, n_devices, data):
+    queues = [f"q{i}" for i in range(n_queues)]
+    devices = [f"d{i}" for i in range(n_devices)]
+    cost = {
+        q: {
+            d: data.draw(
+                st.one_of(
+                    st.floats(min_value=0.001, max_value=100.0),
+                    st.just(math.inf),
+                ),
+                label=f"{q}/{d}",
+            )
+            for d in devices
+        }
+        for q in queues
+    }
+    feasible = all(
+        any(math.isfinite(cost[q][d]) for d in devices) for q in queues
+    )
+    if not feasible:
+        with pytest.raises(MapperError):
+            optimal_mapping(queues, devices, cost)
+        return
+    opt = optimal_mapping(queues, devices, cost)
+    brute = brute_force_mapping(queues, devices, cost)
+    assert opt.makespan == pytest.approx(brute.makespan)
+    # The returned mapping actually achieves the claimed makespan.
+    loads = opt.device_loads(cost)
+    assert max(loads.values()) == pytest.approx(opt.makespan)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    costs=st.lists(
+        st.floats(min_value=0.01, max_value=10.0), min_size=2, max_size=6
+    )
+)
+def test_makespan_bounds(costs):
+    """Makespan lies between max single cost and the total (1 device)."""
+    queues = [f"q{i}" for i in range(len(costs))]
+    devices = ["a", "b"]
+    cost = {q: {d: c for d in devices} for q, c in zip(queues, costs)}
+    res = optimal_mapping(queues, devices, cost)
+    assert res.makespan >= max(costs) - 1e-12
+    assert res.makespan <= sum(costs) + 1e-12

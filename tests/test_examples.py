@@ -1,0 +1,51 @@
+"""Every example script runs end-to-end and prints its headline output.
+
+Run as subprocesses so module-level state never leaks between examples;
+a shared profile-cache directory keeps device profiling to one cold run.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+#: script name -> substring its output must contain
+EXPECTED = {
+    "quickstart.py": "compute-queue  -> gpu",
+    "api_tour.py": "numerics correct: True",
+    "npb_scheduling.py": "AUTO_FIT mapping",
+    "seismology_simulation.py": "stable=True",
+    "analytics_pipeline.py": "pipeline numerics correct: True",
+    "custom_node.py": "mapping chosen by AUTO_FIT",
+    "custom_scheduler.py": "locality-first (custom)",
+    "trace_and_fission.py": "chrome://tracing",
+    "cluster_scheduling.py": "REMOTE",
+    "double_buffering.py": "% faster",
+}
+
+
+def test_every_example_is_covered():
+    on_disk = {p.name for p in EXAMPLES.glob("*.py")}
+    assert on_disk == set(EXPECTED), (
+        f"examples/ and EXPECTED out of sync: {on_disk ^ set(EXPECTED)}"
+    )
+
+
+@pytest.mark.parametrize("script", sorted(EXPECTED))
+def test_example_runs(script, tmp_path, profile_dir):
+    env = dict(os.environ)
+    env["MULTICL_PROFILE_CACHE"] = profile_dir
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True,
+        text=True,
+        timeout=180,
+        cwd=str(tmp_path),  # examples that write files do so in tmp
+        env=env,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert EXPECTED[script] in result.stdout, result.stdout[-2000:]

@@ -1,0 +1,127 @@
+"""Device fission (clCreateSubDevices) and shared-link contention."""
+
+import pytest
+
+from repro.hardware.fission import fission_node_spec, split_device_spec
+from repro.hardware.presets import OPTERON_6134, aji_cluster15_node
+from repro.hardware.specs import HardwareError
+from repro.hardware.topology import SimNode
+from repro.ocl.api import clCreateSubDevices, clGetPlatformIDs
+from repro.ocl.enums import ContextProperty, ContextScheduler, SchedFlag
+from repro.ocl.errors import InvalidDevice
+from repro.ocl.platform import Platform
+from repro.sim.engine import SimEngine
+
+SRC = """
+// @multicl flops_per_item=30 bytes_per_item=64 divergence=0.7 irregularity=0.8 gpu_eff=0.1 writes=1
+__kernel void ragged(__global float* a, __global float* b, int n) { }
+"""
+
+
+# ---------------------------------------------------------------------------
+# Spec-level fission
+# ---------------------------------------------------------------------------
+def test_split_device_spec_divides_resources():
+    subs = split_device_spec(OPTERON_6134, 2)
+    assert [s.name for s in subs] == ["cpu.0", "cpu.1"]
+    for s in subs:
+        assert s.compute_units == OPTERON_6134.compute_units // 2
+        assert s.peak_gflops == pytest.approx(OPTERON_6134.peak_gflops / 2)
+        assert s.mem_size_bytes == OPTERON_6134.mem_size_bytes // 2
+        assert s.kind is OPTERON_6134.kind
+        assert s.launch_overhead_s == OPTERON_6134.launch_overhead_s
+
+
+def test_split_rejects_degenerate_counts():
+    with pytest.raises(HardwareError):
+        split_device_spec(OPTERON_6134, 1)
+    with pytest.raises(HardwareError):
+        split_device_spec(OPTERON_6134, 32)  # only 16 compute units
+
+
+def test_fission_node_spec_replaces_parent():
+    spec, subs = fission_node_spec(aji_cluster15_node(), "cpu", 4)
+    assert subs == ["cpu.0", "cpu.1", "cpu.2", "cpu.3"]
+    assert "cpu" not in spec.device_names
+    assert set(subs) <= set(spec.device_names)
+    assert "gpu0" in spec.device_names  # untouched siblings remain
+    # Sub-devices inherit the parent's link spec (same name => shared).
+    assert spec.host_links["cpu.0"].name == spec.host_links["cpu.1"].name
+
+
+def test_subdevices_share_one_physical_link():
+    spec, _ = fission_node_spec(aji_cluster15_node(), "cpu", 2)
+    engine = SimEngine()
+    node = SimNode(engine, spec)
+    assert node.links["cpu.0"] is node.links["cpu.1"]
+    # Transfers to sibling sub-devices serialise on the shared link.
+    a = node.submit_h2d("cpu.0", 1 << 24)
+    b = node.submit_h2d("cpu.1", 1 << 24)
+    engine.run_until_idle()
+    single = node.h2d_seconds("cpu.0", 1 << 24)
+    assert b.end_time == pytest.approx(2 * single)
+
+
+def test_distinct_devices_keep_distinct_links():
+    engine = SimEngine()
+    node = SimNode(engine, aji_cluster15_node())
+    assert node.links["gpu0"] is not node.links["gpu1"]
+
+
+# ---------------------------------------------------------------------------
+# Platform-level fission
+# ---------------------------------------------------------------------------
+def test_platform_fission_flow(tmp_path):
+    platform = Platform(profile=True, profile_dir=str(tmp_path))
+    subs = platform.create_sub_devices("cpu", 2)
+    assert [d.name for d in subs] == ["cpu.0", "cpu.1"]
+    assert platform.device_names == ["cpu.0", "cpu.1", "gpu0", "gpu1"]
+    # The device profile was invalidated and re-measured uniformly.
+    prof = platform.device_profile
+    assert set(prof.gflops) == {"cpu.0", "cpu.1", "gpu0", "gpu1"}
+    assert prof.gflops["cpu.0"] == pytest.approx(prof.gflops["cpu.1"])
+    assert prof.gflops["cpu.0"] < prof.gflops["gpu0"]
+
+
+def test_fission_after_context_rejected(tmp_path):
+    platform = Platform(profile=True, profile_dir=str(tmp_path))
+    platform.create_context()
+    with pytest.raises(InvalidDevice):
+        platform.create_sub_devices("cpu", 2)
+
+
+def test_c_api_fission(tmp_path):
+    platform = clGetPlatformIDs(profile_dir=str(tmp_path))[0]
+    cpu = platform.device("cpu")
+    subs = clCreateSubDevices(platform, cpu, 2)
+    assert len(subs) == 2
+
+
+def test_scheduler_maps_over_subdevices_uniformly(tmp_path):
+    """Paper Section IV.D: the scheduler handles sub-device cl_device_ids
+    exactly like platform devices — two CPU-leaning queues get true task
+    parallelism on the two CPU halves."""
+    platform = Platform(profile=True, profile_dir=str(tmp_path))
+    platform.create_sub_devices("cpu", 2)
+    ctx = platform.create_context(
+        properties={ContextProperty.CL_CONTEXT_SCHEDULER: ContextScheduler.AUTO_FIT}
+    )
+    prog = ctx.create_program(SRC).build()
+    queues = []
+    for i in range(2):
+        k = prog.create_kernel("ragged")
+        n = 1 << 18
+        a = ctx.create_buffer(4 * n)
+        b = ctx.create_buffer(4 * n)
+        k.set_arg(0, a)
+        k.set_arg(1, b)
+        k.set_arg(2, n)
+        q = ctx.create_queue(
+            sched_flags=SchedFlag.SCHED_AUTO_DYNAMIC | SchedFlag.SCHED_KERNEL_EPOCH,
+            name=f"q{i}",
+        )
+        q.enqueue_nd_range_kernel(k, (n,), (64,))
+        queues.append(q)
+    for q in queues:
+        q.finish()
+    assert {q.device for q in queues} == {"cpu.0", "cpu.1"}

@@ -1,0 +1,219 @@
+"""End-to-end scenarios crossing every layer.
+
+These mirror whole-application flows rather than single-module behaviour:
+the four-line enablement story, remapping across epochs, cross-queue
+dependencies under deferred issue, and failure injection.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.flags import SchedulerConfig
+from repro.core.runtime import MultiCL
+from repro.hardware.presets import cpu_only_node, symmetric_dual_gpu_node
+from repro.ocl.enums import ContextScheduler, SchedFlag
+from repro.ocl.errors import InvalidOperation
+
+SRC = """
+// @multicl flops_per_item=400 bytes_per_item=8 writes=1
+__kernel void heavy(__global float* a, __global float* b, int n) { }
+// @multicl flops_per_item=10 bytes_per_item=80 divergence=0.7 irregularity=0.9 gpu_eff=0.1 writes=1
+__kernel void ragged(__global float* a, __global float* b, int n) { }
+"""
+
+DYN = SchedFlag.SCHED_AUTO_DYNAMIC | SchedFlag.SCHED_KERNEL_EPOCH
+
+
+def _make(mcl, name, n=1 << 18, host=False):
+    ctx = mcl.context
+    prog = getattr(mcl, "_prog", None)
+    if prog is None:
+        prog = ctx.create_program(SRC).build()
+        mcl._prog = prog
+    a_arr = np.arange(n, dtype=np.float32) if host else None
+    b_arr = np.zeros(n, dtype=np.float32) if host else None
+    a = ctx.create_buffer(4 * n, host_array=a_arr)
+    b = ctx.create_buffer(4 * n, host_array=b_arr)
+    k = prog.create_kernel(name)
+    k.set_arg(0, a)
+    k.set_arg(1, b)
+    k.set_arg(2, n)
+    return k, a, b, n
+
+
+def test_four_line_enablement_story(profile_dir):
+    """The same program body runs manually and automatically; the 'diff'
+    is the context property and queue flags only."""
+    def body(mcl, queue):
+        k, a, b, n = _make(mcl, "heavy")
+        queue.enqueue_write_buffer(a)
+        queue.enqueue_nd_range_kernel(k, (n,), (128,))
+        queue.finish()
+        return queue.device
+
+    manual = MultiCL(profile_dir=profile_dir)                      # line 0
+    dev_manual = body(manual, manual.queue(device="cpu"))
+    auto = MultiCL(policy=ContextScheduler.AUTO_FIT, profile_dir=profile_dir)  # line 1
+    dev_auto = body(auto, auto.queue(flags=DYN))                   # line 2
+    assert dev_manual == "cpu"  # manual: wherever the user said
+    assert dev_auto in ("gpu0", "gpu1")  # auto: the right device
+
+
+def test_remapping_across_epochs_follows_workload(autofit):
+    """A queue whose kernel mix changes gets remapped at the next epoch."""
+    heavy, a1, b1, n = _make(autofit, "heavy")
+    ragged, a2, b2, _ = _make(autofit, "ragged")
+    q = autofit.queue(flags=DYN)
+    q.enqueue_nd_range_kernel(heavy, (n,), (128,))
+    q.finish()
+    first = q.device
+    assert first in ("gpu0", "gpu1")
+    q.enqueue_nd_range_kernel(ragged, (n,), (128,))
+    q.finish()
+    assert q.device == "cpu"
+    assert len(autofit.scheduler_mappings()) == 2
+
+
+def test_cross_queue_events_under_deferred_issue(autofit):
+    """Producer on one auto queue, consumer on another: the wait list must
+    order the issue correctly inside one scheduling epoch."""
+    heavy, a, b, n = _make(autofit, "heavy", host=True)
+    q1 = autofit.queue(flags=DYN, name="prod")
+    q2 = autofit.queue(flags=DYN, name="cons")
+    ev = q1.enqueue_nd_range_kernel(heavy, (n,), (128,))
+    ev2 = q2.enqueue_nd_range_kernel(heavy, (n,), (128,), wait_events=[ev])
+    q2.finish()
+    q1.finish()
+    assert ev2.profile_start >= ev.profile_end
+
+
+def test_functional_correctness_survives_scheduling(autofit):
+    n = 1 << 12
+    ctx = autofit.context
+    prog = ctx.create_program(SRC).build()
+    k = prog.create_kernel("heavy")
+    data = np.arange(n, dtype=np.float32)
+    a = ctx.create_buffer(4 * n, host_array=data.copy())
+    b = ctx.create_buffer(4 * n, host_array=np.zeros(n, np.float32))
+    k.set_arg(0, a)
+    k.set_arg(1, b)
+    k.set_arg(2, n)
+    k.set_host_function(lambda args: args["b"].__setitem__(slice(None), args["a"] * 2))
+    q = autofit.queue(flags=DYN)
+    q.enqueue_write_buffer(a, data)
+    q.enqueue_nd_range_kernel(k, (n,), (64,))
+    out = np.empty(n, np.float32)
+    q.enqueue_read_buffer(b, out)
+    q.finish()
+    assert np.array_equal(out, data * 2)
+
+
+def test_single_device_node_degenerates_gracefully(profile_dir):
+    mcl = MultiCL(
+        node_spec=cpu_only_node(),
+        policy=ContextScheduler.AUTO_FIT,
+        profile_dir=profile_dir,
+    )
+    k, a, b, n = _make(mcl, "heavy")
+    q = mcl.queue(flags=DYN)
+    q.enqueue_nd_range_kernel(k, (n,), (64,))
+    q.finish()
+    assert q.device == "cpu"
+
+
+def test_gpu_only_node(profile_dir):
+    mcl = MultiCL(
+        node_spec=symmetric_dual_gpu_node(),
+        policy=ContextScheduler.AUTO_FIT,
+        profile_dir=profile_dir,
+    )
+    k, a, b, n = _make(mcl, "ragged")  # CPU-ish kernel, but no CPU exists
+    queues = [mcl.queue(flags=DYN) for _ in range(2)]
+    for q in queues:
+        q.enqueue_nd_range_kernel(k, (n,), (64,))
+    for q in queues:
+        q.finish()
+    assert {q.device for q in queues} == {"gpu0", "gpu1"}
+
+
+def test_mixed_manual_and_auto_queues(autofit):
+    """SCHED_OFF queues keep their manual binding while auto queues are
+    scheduled around them — the intermediate-user story of Section IV.B."""
+    heavy, a, b, n = _make(autofit, "heavy")
+    pinned = autofit.queue(device="cpu", flags=SchedFlag.SCHED_OFF)
+    auto = autofit.queue(flags=DYN)
+    pinned.enqueue_nd_range_kernel(heavy, (n,), (128,))
+    auto.enqueue_nd_range_kernel(heavy, (n,), (128,))
+    pinned.finish()
+    auto.finish()
+    assert pinned.device == "cpu"
+    assert auto.device in ("gpu0", "gpu1")
+
+
+def test_data_gravity_vs_compute_affinity(profile_dir):
+    """With large resident state and caching off, moving the data costs
+    more than the compute gain; the scheduler must respect data gravity."""
+    mcl = MultiCL(
+        policy=ContextScheduler.AUTO_FIT,
+        config=SchedulerConfig(data_caching=False),
+        profile_dir=profile_dir,
+    )
+    ctx = mcl.context
+    prog = ctx.create_program(SRC).build()
+    k = prog.create_kernel("heavy")
+    n = 1 << 10  # tiny kernel
+    big = ctx.create_buffer(10 ** 9)
+    out = ctx.create_buffer(4 * n)
+    big.mark_exclusive("cpu")
+    k.set_arg(0, big)
+    k.set_arg(1, out)
+    k.set_arg(2, n)
+    q = mcl.queue(flags=DYN)
+    q.enqueue_nd_range_kernel(k, (n,), (64,))
+    q.finish()
+    assert q.device == "cpu"
+
+
+def test_profiling_trace_categories_present(autofit):
+    k, a, b, n = _make(autofit, "heavy", host=True)
+    q = autofit.queue(flags=DYN)
+    q.enqueue_write_buffer(a)
+    q.enqueue_nd_range_kernel(k, (n,), (128,))
+    q.finish()
+    cats = set(autofit.engine.trace.categories())
+    assert {"kernel", "profile-kernel", "schedule"} <= cats
+
+
+def test_unissued_wait_event_error_path(autofit):
+    """A manual queue waiting on a deferred event forces that queue to
+    schedule first (cross-queue sync)."""
+    heavy, a, b, n = _make(autofit, "heavy")
+    auto_q = autofit.queue(flags=DYN)
+    manual_q = autofit.queue(device="cpu", flags=SchedFlag.SCHED_OFF)
+    ev = auto_q.enqueue_nd_range_kernel(heavy, (n,), (128,))
+    assert ev.task is None
+    m = manual_q.enqueue_marker(wait_events=[ev])
+    assert ev.task is not None  # the wait forced scheduling
+    manual_q.finish()
+    auto_q.finish()
+    assert m.complete
+
+
+def test_scheduler_failure_leaves_clear_error(profile_dir):
+    """A workload that fits on no device raises, not hangs."""
+    mcl = MultiCL(policy=ContextScheduler.AUTO_FIT, profile_dir=profile_dir)
+    ctx = mcl.context
+    prog = ctx.create_program(SRC).build()
+    k = prog.create_kernel("heavy")
+    n = 1 << 10
+    huge = ctx.create_buffer(64 * 10 ** 9)  # fits nowhere (CPU has 32 GB)
+    out = ctx.create_buffer(4 * n)
+    k.set_arg(0, huge)
+    k.set_arg(1, out)
+    k.set_arg(2, n)
+    q = mcl.queue(flags=DYN)
+    q.enqueue_nd_range_kernel(k, (n,), (64,))
+    from repro.core.device_mapper import MapperError
+
+    with pytest.raises(MapperError):
+        q.finish()

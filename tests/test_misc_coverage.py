@@ -1,0 +1,97 @@
+"""Gap-filling tests for smaller public surfaces."""
+
+import numpy as np
+import pytest
+
+from repro.ocl import api
+from repro.ocl.enums import DeviceType, EventStatus, MemFlag
+from repro.ocl import errors
+from repro.sim.engine import SimEngine, SimError
+
+
+# ---------------------------------------------------------------------------
+# Error hierarchy mirrors CL numbering
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "exc,code",
+    [
+        (errors.InvalidValue, -30),
+        (errors.InvalidDevice, -33),
+        (errors.InvalidContext, -34),
+        (errors.InvalidCommandQueue, -36),
+        (errors.InvalidMemObject, -38),
+        (errors.InvalidProgram, -44),
+        (errors.InvalidKernel, -48),
+        (errors.InvalidKernelArgs, -52),
+        (errors.InvalidWorkGroupSize, -54),
+        (errors.InvalidEventWaitList, -57),
+        (errors.InvalidOperation, -59),
+        (errors.MemAllocationFailure, -4),
+        (errors.BuildProgramFailure, -11),
+    ],
+)
+def test_error_codes(exc, code):
+    err = exc("boom")
+    assert err.code == code
+    assert isinstance(err, errors.CLError)
+    assert f"[CL {code}]" in str(err) and "boom" in str(err)
+
+
+def test_error_without_message():
+    assert str(errors.InvalidValue()) == "[CL -30]"
+
+
+# ---------------------------------------------------------------------------
+# Engine odds and ends
+# ---------------------------------------------------------------------------
+def test_schedule_after_negative_delay_rejected():
+    engine = SimEngine()
+    with pytest.raises(SimError):
+        engine.schedule_after(-1.0, lambda: None)
+
+
+def test_schedule_after_runs_in_order():
+    engine = SimEngine()
+    order = []
+    engine.schedule_after(2.0, lambda: order.append("b"))
+    engine.schedule_after(1.0, lambda: order.append("a"))
+    engine.run_until_idle()
+    assert order == ["a", "b"]
+
+
+# ---------------------------------------------------------------------------
+# Flat API odds and ends
+# ---------------------------------------------------------------------------
+def test_api_copy_buffer(bare_platform):
+    ctx = bare_platform.create_context()
+    q = api.clCreateCommandQueue(ctx)
+    src = api.clCreateBuffer(ctx, size=64, host_ptr=np.arange(8.0))
+    dst = api.clCreateBuffer(ctx, size=64, host_ptr=np.zeros(8))
+    src.mark_valid("host")
+    ev = api.clEnqueueCopyBuffer(q, src, dst)
+    api.clFinish(q)
+    assert ev.status is EventStatus.COMPLETE
+    assert np.array_equal(dst.array, np.arange(8.0))
+
+
+def test_api_buffer_size_inferred_from_host_ptr(bare_platform):
+    ctx = bare_platform.create_context()
+    buf = api.clCreateBuffer(
+        ctx, flags=MemFlag.READ_ONLY | MemFlag.COPY_HOST_PTR,
+        host_ptr=np.zeros(32, dtype=np.float32),
+    )
+    assert buf.nbytes == 128
+    assert buf.is_valid_on("host")
+
+
+def test_device_type_default_matches_nothing_specific(bare_platform):
+    # DEFAULT is its own bit; our devices are CPU/GPU, so DEFAULT alone
+    # matches nothing and raises InvalidDevice like real CL would return
+    # CL_DEVICE_NOT_FOUND.
+    with pytest.raises(errors.InvalidDevice):
+        bare_platform.get_devices(DeviceType.DEFAULT)
+
+
+def test_device_type_union(bare_platform):
+    devs = bare_platform.get_devices(DeviceType.CPU | DeviceType.GPU)
+    assert [d.name for d in devs] == ["cpu", "gpu0", "gpu1"]

@@ -1,0 +1,353 @@
+"""Reference numerics: NPB LCG, CG, FT, MG, ADI."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.workloads.npb import numerics as N
+
+
+# ---------------------------------------------------------------------------
+# The 48-bit LCG
+# ---------------------------------------------------------------------------
+def test_randlc_in_unit_interval():
+    x = 314159265.0
+    for _ in range(100):
+        u, x = N.randlc(x)
+        assert 0.0 < u < 1.0
+        assert x == math.floor(x)  # seeds stay integral
+        assert 0 <= x < 2.0 ** 46
+
+
+def test_randlc_deterministic():
+    u1, x1 = N.randlc(271828183.0)
+    u2, x2 = N.randlc(271828183.0)
+    assert u1 == u2 and x1 == x2
+
+
+def test_vranlc_matches_scalar_chain():
+    seed = 271828183.0
+    vec, end = N.vranlc(10, seed)
+    x = seed
+    for i in range(10):
+        u, x = N.randlc(x)
+        assert vec[i] == u
+    assert end == x
+
+
+def test_ipow46_identity_and_base():
+    assert N.ipow46(N.LCG_A, 0) == 1.0
+    # a^1 * s advances exactly one step.
+    _, direct = N.randlc(12345.0)
+    _, via_pow = N.randlc(12345.0, N.ipow46(N.LCG_A, 1))
+    assert direct == via_pow
+
+
+@given(st.integers(min_value=0, max_value=5000))
+@settings(max_examples=25, deadline=None)
+def test_ipow46_jumps_match_sequential(k):
+    seed = 314159265.0
+    x = seed
+    for _ in range(k):
+        _, x = N.randlc(x)
+    _, jumped = N.randlc(seed, N.ipow46(N.LCG_A, k))
+    assert x == jumped
+
+
+def test_lcg_uniformity_rough():
+    u, _ = N.vranlc(20000, 271828183.0)
+    assert abs(u.mean() - 0.5) < 0.01
+    assert abs(np.var(u) - 1.0 / 12.0) < 0.005
+
+
+# ---------------------------------------------------------------------------
+# EP tally
+# ---------------------------------------------------------------------------
+def test_ep_acceptance_near_pi_over_4():
+    t = N.ep_tally(1 << 14)
+    assert abs(t["accepted"] / (1 << 14) - math.pi / 4.0) < 0.02
+
+
+def test_ep_counts_sum_to_accepted():
+    t = N.ep_tally(4096)
+    assert int(t["counts"].sum()) == t["accepted"]
+
+
+def test_ep_counts_decay():
+    t = N.ep_tally(1 << 14)
+    counts = t["counts"]
+    # Gaussian annuli: inner rings dominate, counts decay outward.
+    assert counts[0] > counts[2] > counts[4]
+    assert counts[9] == 0  # ~9-sigma events don't happen in 16k pairs
+
+
+def test_ep_deterministic_per_seed():
+    a = N.ep_tally(2048, seed=1.0)
+    b = N.ep_tally(2048, seed=1.0)
+    c = N.ep_tally(2048, seed=2.0)
+    assert a["sx"] == b["sx"]
+    assert a["sx"] != c["sx"]
+
+
+def test_ep_rejects_bad_n():
+    with pytest.raises(ValueError):
+        N.ep_tally(0)
+
+
+# ---------------------------------------------------------------------------
+# CG substrate
+# ---------------------------------------------------------------------------
+def test_poisson_matrix_shape():
+    data, idx, ptr, size = N.make_poisson_csr(5)
+    assert size == 25
+    assert ptr[0] == 0 and ptr[-1] == len(data)
+    # Interior rows have 5 entries, corners 3.
+    row_counts = np.diff(ptr)
+    assert row_counts.max() == 5 and row_counts.min() == 3
+
+
+def test_poisson_rejects_tiny():
+    with pytest.raises(ValueError):
+        N.make_poisson_csr(1)
+
+
+def test_csr_matvec_matches_dense():
+    n = 6
+    data, idx, ptr, size = N.make_poisson_csr(n)
+    dense = np.zeros((size, size))
+    for row in range(size):
+        for j in range(ptr[row], ptr[row + 1]):
+            dense[row, idx[j]] = data[j]
+    rng = np.random.default_rng(0)
+    x = rng.standard_normal(size)
+    assert np.allclose(N.csr_matvec(data, idx, ptr, x), dense @ x)
+
+
+def test_poisson_symmetric_positive_definite():
+    data, idx, ptr, size = N.make_poisson_csr(5)
+    dense = np.zeros((size, size))
+    for row in range(size):
+        for j in range(ptr[row], ptr[row + 1]):
+            dense[row, idx[j]] = data[j]
+    assert np.allclose(dense, dense.T)
+    assert np.linalg.eigvalsh(dense).min() > 0
+
+
+def test_cg_converges():
+    data, idx, ptr, size = N.make_poisson_csr(12)
+    b = np.ones(size)
+    x, hist = N.conjugate_gradient(data, idx, ptr, b, iterations=80)
+    assert hist[-1] < 1e-8 * hist[0]
+    assert np.allclose(N.csr_matvec(data, idx, ptr, x), b, atol=1e-6)
+
+
+def test_cg_residuals_eventually_shrink():
+    data, idx, ptr, size = N.make_poisson_csr(10)
+    b = np.ones(size)
+    _, hist = N.conjugate_gradient(data, idx, ptr, b, iterations=30)
+    assert hist[10] < hist[0]
+
+
+@given(st.integers(min_value=3, max_value=10))
+@settings(max_examples=10, deadline=None)
+def test_cg_solution_residual_matches_history(n):
+    data, idx, ptr, size = N.make_poisson_csr(n)
+    rng = np.random.default_rng(n)
+    b = rng.standard_normal(size)
+    x, hist = N.conjugate_gradient(data, idx, ptr, b, iterations=15)
+    true_res = np.linalg.norm(b - N.csr_matvec(data, idx, ptr, x))
+    assert true_res == pytest.approx(hist[-1], rel=1e-6, abs=1e-9)
+
+
+# ---------------------------------------------------------------------------
+# FT substrate
+# ---------------------------------------------------------------------------
+def test_indexmap_symmetry():
+    im = N.ft_indexmap((8, 8, 8))
+    assert im[0, 0, 0] == 0
+    assert im[1, 0, 0] == im[7, 0, 0]  # wrap symmetry
+    assert im[4, 0, 0] == 16
+
+
+def test_ft_evolve_decays_energy():
+    rng = np.random.default_rng(1)
+    u0 = rng.standard_normal((16, 16, 16)) + 1j * rng.standard_normal((16, 16, 16))
+    u0_hat = np.fft.fftn(u0)
+    im = N.ft_indexmap((16, 16, 16))
+    x1, _ = N.ft_evolve(u0_hat, im, alpha=1e-4, step=1)
+    x5, _ = N.ft_evolve(u0_hat, im, alpha=1e-4, step=5)
+    assert np.linalg.norm(x5) < np.linalg.norm(x1) <= np.linalg.norm(u0) * 1.01
+
+
+def test_ft_evolve_step_zero_is_identity():
+    rng = np.random.default_rng(2)
+    u0 = rng.standard_normal((8, 8, 8)) + 0j
+    x, _ = N.ft_evolve(np.fft.fftn(u0), N.ft_indexmap((8, 8, 8)), 1e-4, 0)
+    assert np.allclose(x, u0)
+
+
+def test_ft_checksum_deterministic():
+    rng = np.random.default_rng(3)
+    u0_hat = np.fft.fftn(rng.standard_normal((8, 8, 8)))
+    im = N.ft_indexmap((8, 8, 8))
+    _, c1 = N.ft_evolve(u0_hat, im, 1e-5, 2)
+    _, c2 = N.ft_evolve(u0_hat, im, 1e-5, 2)
+    assert c1 == c2
+
+
+# ---------------------------------------------------------------------------
+# MG substrate
+# ---------------------------------------------------------------------------
+def _mg_problem(n=17, seed=0):
+    rng = np.random.default_rng(seed)
+    v = np.zeros((n, n, n))
+    v[1:-1, 1:-1, 1:-1] = rng.standard_normal((n - 2, n - 2, n - 2))
+    return np.zeros_like(v), v, 1.0 / (n - 1)
+
+
+def test_mg_vcycle_reduces_residual():
+    u, v, h = _mg_problem()
+    r0 = np.linalg.norm(N.mg_residual(u, v, h))
+    u = N.mg_vcycle(u, v, h)
+    r1 = np.linalg.norm(N.mg_residual(u, v, h))
+    assert r1 < 0.5 * r0
+
+
+def test_mg_multiple_vcycles_converge():
+    u, v, h = _mg_problem()
+    r0 = np.linalg.norm(N.mg_residual(u, v, h))
+    for _ in range(6):
+        u = N.mg_vcycle(u, v, h)
+    assert np.linalg.norm(N.mg_residual(u, v, h)) < 1e-2 * r0
+
+
+def test_mg_smooth_preserves_boundary():
+    u, v, h = _mg_problem()
+    u = N.mg_smooth(u, v, h)
+    assert np.all(u[0, :, :] == 0) and np.all(u[:, :, -1] == 0)
+
+
+def test_mg_restrict_prolongate_shapes():
+    r = np.random.default_rng(0).standard_normal((17, 17, 17))
+    rc = N.mg_restrict(r)
+    assert rc.shape == (9, 9, 9)
+    back = N.mg_prolongate(rc, (17, 17, 17))
+    assert back.shape == (17, 17, 17)
+    # Prolongation is exact at coarse points.
+    assert np.allclose(back[::2, ::2, ::2], rc)
+
+
+def test_mg_residual_zero_for_exact_solution():
+    # For v = 0 and u = 0 the residual is zero.
+    u = np.zeros((9, 9, 9))
+    assert np.linalg.norm(N.mg_residual(u, u, 0.125)) == 0.0
+
+
+# ---------------------------------------------------------------------------
+# Thomas / ADI substrate
+# ---------------------------------------------------------------------------
+def test_thomas_matches_dense_solve():
+    n = 12
+    rng = np.random.default_rng(4)
+    lower = rng.uniform(-0.4, -0.1, n)
+    upper = rng.uniform(-0.4, -0.1, n)
+    diag = np.full(n, 2.0)  # diagonally dominant
+    rhs = rng.standard_normal(n)
+    x = N.thomas(lower, diag, upper, rhs)
+    dense = np.diag(diag) + np.diag(upper[:-1], 1) + np.diag(lower[1:], -1)
+    assert np.allclose(x, np.linalg.solve(dense, rhs))
+
+
+def test_thomas_batched_leading_axes():
+    n = 8
+    lower = np.full(n, -1.0)
+    upper = np.full(n, -1.0)
+    diag = np.full(n, 4.0)
+    rhs = np.random.default_rng(5).standard_normal((3, 4, n))
+    x = N.thomas(
+        lower.reshape(1, 1, n), diag.reshape(1, 1, n), upper.reshape(1, 1, n), rhs
+    )
+    dense = np.diag(diag) + np.diag(upper[:-1], 1) + np.diag(lower[1:], -1)
+    for i in range(3):
+        for j in range(4):
+            assert np.allclose(x[i, j], np.linalg.solve(dense, rhs[i, j]))
+
+
+def test_thomas_shape_mismatch_rejected():
+    with pytest.raises(ValueError):
+        N.thomas(np.zeros(3), np.ones(4), np.zeros(4), np.ones(4))
+
+
+def test_adi_step_diffuses_peak():
+    n = 11
+    u = np.zeros((n, n, n))
+    u[5, 5, 5] = 1.0
+    out = N.adi_step(u, dt=0.05, h=0.1)
+    assert out[5, 5, 5] < 1.0
+    assert out[4, 5, 5] > 0.0  # mass spread to neighbours
+    assert out.min() >= -1e-12  # no undershoot (monotone for this dt)
+
+
+def test_adi_step_monotone_decay():
+    n = 11
+    u = np.zeros((n, n, n))
+    u[5, 5, 5] = 1.0
+    peaks = [1.0]
+    for _ in range(5):
+        u = N.adi_step(u, dt=0.05, h=0.1)
+        peaks.append(u.max())
+    assert all(b < a for a, b in zip(peaks, peaks[1:]))
+
+
+def test_adi_zero_field_stays_zero():
+    u = np.zeros((9, 9, 9))
+    assert np.all(N.adi_step(u, 0.01, 0.1) == 0.0)
+
+
+@given(st.floats(min_value=0.001, max_value=0.2))
+@settings(max_examples=20, deadline=None)
+def test_adi_stable_for_any_dt(dt):
+    """Implicit scheme: unconditionally stable (no blow-up for any dt)."""
+    n = 9
+    u = np.zeros((n, n, n))
+    u[4, 4, 4] = 1.0
+    for _ in range(3):
+        u = N.adi_step(u, dt=dt, h=0.125)
+    assert np.isfinite(u).all()
+    assert u.max() <= 1.0 + 1e-9
+
+
+# ---------------------------------------------------------------------------
+# Vectorised LCG
+# ---------------------------------------------------------------------------
+def test_vranlc_fast_matches_scalar_exactly():
+    for n in (1, 2, 3, 100, 1000):
+        ref, ref_end = N.vranlc(n, 271828183.0)
+        fast, fast_end = N.vranlc_fast(n, 271828183.0)
+        assert np.array_equal(ref, fast), n
+        assert ref_end == fast_end, n
+
+
+@given(
+    n=st.integers(min_value=1, max_value=300),
+    seed=st.integers(min_value=1, max_value=(1 << 46) - 1),
+)
+@settings(max_examples=20, deadline=None)
+def test_vranlc_fast_bit_exact_property(n, seed):
+    ref, ref_end = N.vranlc(n, float(seed))
+    fast, fast_end = N.vranlc_fast(n, float(seed))
+    assert np.array_equal(ref, fast)
+    assert ref_end == fast_end
+
+
+def test_vranlc_fast_rejects_nonpositive():
+    with pytest.raises(ValueError):
+        N.vranlc_fast(0, 1.0)
+
+
+def test_vranlc_fast_large_stream_uniform():
+    u, _ = N.vranlc_fast(1 << 17, 314159265.0)
+    assert abs(u.mean() - 0.5) < 0.005
+    assert u.min() > 0.0 and u.max() < 1.0

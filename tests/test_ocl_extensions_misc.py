@@ -1,0 +1,188 @@
+"""Fill buffer, event callbacks, sub-buffers, custom scheduler policies."""
+
+import numpy as np
+import pytest
+
+from repro.ocl.enums import ContextProperty, ContextScheduler, SchedFlag
+from repro.ocl.errors import InvalidValue
+from repro.ocl.memory import HOST
+from repro.ocl.platform import Platform
+from repro.ocl.scheduling import SchedulerBase, register_scheduler
+
+SRC = """
+// @multicl flops_per_item=100 bytes_per_item=16 writes=1
+__kernel void k(__global float* a, __global float* b, int n) { }
+"""
+
+
+# ---------------------------------------------------------------------------
+# clEnqueueFillBuffer
+# ---------------------------------------------------------------------------
+def test_fill_buffer_functional(manual_context):
+    q = manual_context.create_queue("gpu0")
+    buf = manual_context.create_buffer(8 * 64, host_array=np.ones(64))
+    ev = q.enqueue_fill_buffer(buf, 3.5)
+    q.finish()
+    assert ev.complete
+    assert np.all(buf.array == 3.5)
+    assert buf.valid_on == {"gpu0"}
+
+
+def test_fill_buffer_charges_device_time_not_link(manual_context):
+    q = manual_context.create_queue("gpu0")
+    buf = manual_context.create_buffer(1 << 26)
+    q.enqueue_fill_buffer(buf)
+    q.finish()
+    trace = manual_context.platform.engine.trace
+    assert trace.count("dev:gpu0", "transfer") == 1
+    assert trace.count("link:pcie-gpu0") == 0
+
+
+# ---------------------------------------------------------------------------
+# Event callbacks
+# ---------------------------------------------------------------------------
+def test_callback_on_immediate_command(manual_context):
+    q = manual_context.create_queue("gpu0")
+    buf = manual_context.create_buffer(1 << 20)
+    fired = []
+    ev = q.enqueue_write_buffer(buf)
+    ev.set_callback(lambda e: fired.append(e.id))
+    assert fired == []  # not yet complete
+    q.finish()
+    assert fired == [ev.id]
+
+
+def test_callback_on_already_complete_event(manual_context):
+    q = manual_context.create_queue("gpu0")
+    ev = q.enqueue_marker()
+    q.finish()
+    fired = []
+    ev.set_callback(lambda e: fired.append(True))
+    assert fired == [True]
+
+
+def test_callback_on_deferred_command(autofit):
+    prog = autofit.context.create_program(SRC).build()
+    k = prog.create_kernel("k")
+    n = 1 << 12
+    a = autofit.context.create_buffer(4 * n)
+    b = autofit.context.create_buffer(4 * n)
+    k.set_arg(0, a)
+    k.set_arg(1, b)
+    k.set_arg(2, n)
+    q = autofit.queue(flags=SchedFlag.SCHED_AUTO_DYNAMIC)
+    ev = q.enqueue_nd_range_kernel(k, (n,), (64,))
+    fired = []
+    ev.set_callback(lambda e: fired.append(e.status.name))
+    assert ev.task is None and fired == []  # still deferred
+    q.finish()
+    assert fired == ["COMPLETE"]
+
+
+# ---------------------------------------------------------------------------
+# Sub-buffers
+# ---------------------------------------------------------------------------
+def test_sub_buffer_shares_parent_storage(manual_context):
+    parent = manual_context.create_buffer(8 * 100, host_array=np.arange(100.0))
+    sub = parent.create_sub_buffer(8 * 10, 8 * 20)
+    assert sub.nbytes == 160
+    assert np.array_equal(sub.array, np.arange(10.0, 30.0))
+    sub.array[0] = -1.0
+    assert parent.array[10] == -1.0  # a view, not a copy
+
+
+def test_sub_buffer_inherits_residency_snapshot(manual_context):
+    parent = manual_context.create_buffer(1 << 20)
+    parent.mark_valid(HOST)
+    parent.mark_valid("gpu0")
+    sub = parent.create_sub_buffer(0, 1 << 10)
+    assert sub.valid_on == {HOST, "gpu0"}
+    sub.mark_exclusive("cpu")
+    assert parent.valid_on == {HOST, "gpu0"}  # independent afterwards
+
+
+def test_sub_buffer_bounds_checked(manual_context):
+    parent = manual_context.create_buffer(100)
+    with pytest.raises(InvalidValue):
+        parent.create_sub_buffer(90, 20)
+    with pytest.raises(InvalidValue):
+        parent.create_sub_buffer(-1, 10)
+    with pytest.raises(InvalidValue):
+        parent.create_sub_buffer(0, 0)
+
+
+def test_sub_buffer_of_sub_buffer_rejected(manual_context):
+    parent = manual_context.create_buffer(100)
+    sub = parent.create_sub_buffer(0, 50)
+    with pytest.raises(InvalidValue):
+        sub.create_sub_buffer(0, 10)
+
+
+def test_sub_buffer_unaligned_offset_has_no_view(manual_context):
+    parent = manual_context.create_buffer(8 * 10, host_array=np.arange(10.0))
+    sub = parent.create_sub_buffer(3, 8)  # misaligned for float64
+    assert sub.array is None  # modelled-only region
+
+
+def test_sub_buffer_usable_as_kernel_arg(manual_context):
+    ctx = manual_context
+    prog = ctx.create_program(SRC).build()
+    k = prog.create_kernel("k")
+    n = 1 << 12
+    parent = ctx.create_buffer(4 * 4 * n)
+    parent.mark_valid(HOST)
+    sub_in = parent.create_sub_buffer(0, 4 * n)
+    sub_out = parent.create_sub_buffer(4 * n, 4 * n)
+    k.set_arg(0, sub_in)
+    k.set_arg(1, sub_out)
+    k.set_arg(2, n)
+    q = ctx.create_queue("gpu1")
+    q.enqueue_nd_range_kernel(k, (n,), (64,))
+    q.finish()
+    # Only the sub-buffer's bytes migrated, not the whole parent.
+    migs = ctx.platform.engine.trace.filter(category="migration")
+    assert migs and all(iv.meta["bytes"] == 4 * n for iv in migs)
+
+
+# ---------------------------------------------------------------------------
+# Custom scheduler policies
+# ---------------------------------------------------------------------------
+class _PinEverythingScheduler(SchedulerBase):
+    """Toy policy: pin every queue to the last device."""
+
+    def on_sync(self, pool, trigger_queue=None):
+        target = self.context.device_names[-1]
+        for q in pool:
+            q.rebind(target)
+        self.context.issue_pool(pool)
+
+
+def test_custom_policy_registration(profile_dir):
+    register_scheduler("pin-last", _PinEverythingScheduler)
+    platform = Platform(profile=True, profile_dir=profile_dir)
+    ctx = platform.create_context(
+        properties={ContextProperty.CL_CONTEXT_SCHEDULER: "pin-last"}
+    )
+    assert isinstance(ctx.scheduler, _PinEverythingScheduler)
+    q = ctx.create_queue(sched_flags=SchedFlag.SCHED_AUTO_DYNAMIC)
+    q.enqueue_marker()
+    q.finish()
+    assert q.device == "gpu1"
+
+
+def test_unknown_policy_rejected(profile_dir):
+    platform = Platform(profile=True, profile_dir=profile_dir)
+    with pytest.raises(InvalidValue):
+        platform.create_context(
+            properties={ContextProperty.CL_CONTEXT_SCHEDULER: "no-such-policy"}
+        )
+
+
+def test_builtin_policies_still_resolve_by_enum(profile_dir):
+    from repro.core.scheduler import AutoFitScheduler
+
+    platform = Platform(profile=True, profile_dir=profile_dir)
+    ctx = platform.create_context(
+        properties={ContextProperty.CL_CONTEXT_SCHEDULER: ContextScheduler.AUTO_FIT}
+    )
+    assert isinstance(ctx.scheduler, AutoFitScheduler)

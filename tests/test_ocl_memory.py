@@ -1,0 +1,95 @@
+"""Buffer residency semantics."""
+
+import numpy as np
+import pytest
+
+from repro.ocl.enums import MemFlag
+from repro.ocl.errors import InvalidValue
+from repro.ocl.memory import HOST, Buffer
+
+
+def test_buffer_starts_uninitialized(manual_context):
+    b = manual_context.create_buffer(1024)
+    assert not b.initialized
+    assert b.any_valid_device() is None
+
+
+def test_copy_host_ptr_marks_host_valid(manual_context):
+    arr = np.zeros(16, dtype=np.float64)
+    b = manual_context.create_buffer(128, flags=MemFlag.COPY_HOST_PTR, host_array=arr)
+    assert b.is_valid_on(HOST)
+    assert b.initialized
+
+
+def test_copy_host_ptr_requires_array(manual_context):
+    with pytest.raises(InvalidValue):
+        manual_context.create_buffer(128, flags=MemFlag.COPY_HOST_PTR)
+
+
+def test_nonpositive_size_rejected(manual_context):
+    with pytest.raises(InvalidValue):
+        manual_context.create_buffer(0)
+
+
+def test_empty_host_array_rejected(manual_context):
+    with pytest.raises(InvalidValue):
+        manual_context.create_buffer(8, host_array=np.zeros(0))
+
+
+def test_mark_valid_accumulates(manual_context):
+    b = manual_context.create_buffer(64)
+    b.mark_valid("gpu0")
+    b.mark_valid("gpu1")
+    assert b.is_valid_on("gpu0") and b.is_valid_on("gpu1")
+
+
+def test_mark_exclusive_invalidate_others(manual_context):
+    b = manual_context.create_buffer(64)
+    b.mark_valid("gpu0")
+    b.mark_valid(HOST)
+    b.mark_exclusive("gpu1")
+    assert b.valid_on == {"gpu1"}
+
+
+def test_invalidate(manual_context):
+    b = manual_context.create_buffer(64)
+    b.mark_valid("gpu0")
+    b.invalidate("gpu0")
+    assert not b.initialized
+    b.invalidate("gpu0")  # idempotent
+
+
+def test_any_valid_device_skips_host(manual_context):
+    b = manual_context.create_buffer(64)
+    b.mark_valid(HOST)
+    assert b.any_valid_device() is None
+    b.mark_valid("gpu1")
+    assert b.any_valid_device() == "gpu1"
+
+
+def test_any_valid_device_deterministic(manual_context):
+    b = manual_context.create_buffer(64)
+    b.mark_valid("gpu1")
+    b.mark_valid("cpu")
+    # Sorted order: 'cpu' < 'gpu1'.
+    assert b.any_valid_device() == "cpu"
+
+
+def test_resident_on_excludes_host(manual_context):
+    b = manual_context.create_buffer(64)
+    b.mark_valid(HOST)
+    assert not b.resident_on(HOST)
+    b.mark_valid("cpu")
+    assert b.resident_on("cpu")
+
+
+def test_buffer_registered_with_context(manual_context):
+    n_before = len(manual_context.buffers)
+    manual_context.create_buffer(64)
+    assert len(manual_context.buffers) == n_before + 1
+
+
+def test_auto_names_unique(manual_context):
+    a = manual_context.create_buffer(64)
+    b = manual_context.create_buffer(64)
+    assert a.name != b.name

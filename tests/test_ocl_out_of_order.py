@@ -1,0 +1,139 @@
+"""Out-of-order command queues: overlap, barriers, finish semantics."""
+
+import pytest
+
+from repro.ocl.api import clCreateCommandQueue, clEnqueueBarrier
+from repro.ocl.enums import SchedFlag
+
+SRC = """
+// @multicl flops_per_item=2000 bytes_per_item=4 writes=1
+__kernel void crunch(__global float* a, __global float* b, int n) { }
+"""
+
+N = 1 << 20
+
+
+@pytest.fixture
+def setup(manual_context):
+    ctx = manual_context
+    prog = ctx.create_program(SRC).build()
+
+    def make_kernel():
+        k = prog.create_kernel("crunch")
+        a = ctx.create_buffer(4 * N)
+        b = ctx.create_buffer(4 * N)
+        k.set_arg(0, a)
+        k.set_arg(1, b)
+        k.set_arg(2, N)
+        return k
+
+    return ctx, make_kernel
+
+
+def test_in_order_serialises_transfer_and_kernel(setup):
+    ctx, make_kernel = setup
+    q = ctx.create_queue("gpu0")  # in-order default
+    big = ctx.create_buffer(256 << 20)
+    k = make_kernel()
+    ev_w = q.enqueue_write_buffer(big)
+    ev_k = q.enqueue_nd_range_kernel(k, (N,), (128,))
+    q.finish()
+    assert ev_k.profile_start >= ev_w.profile_end
+
+
+def test_out_of_order_overlaps_transfer_and_kernel(setup):
+    """The kernel (device resource) runs while the unrelated write streams
+    over the PCIe link — the double-buffering overlap."""
+    ctx, make_kernel = setup
+    q = ctx.create_queue("gpu0", out_of_order=True)
+    big = ctx.create_buffer(256 << 20)
+    k = make_kernel()
+    ev_w = q.enqueue_write_buffer(big)
+    ev_k = q.enqueue_nd_range_kernel(k, (N,), (128,))
+    q.finish()
+    assert ev_k.profile_start < ev_w.profile_end  # overlap happened
+
+
+def test_out_of_order_respects_explicit_waits(setup):
+    ctx, make_kernel = setup
+    q = ctx.create_queue("gpu0", out_of_order=True)
+    big = ctx.create_buffer(256 << 20)
+    k = make_kernel()
+    ev_w = q.enqueue_write_buffer(big)
+    ev_k = q.enqueue_nd_range_kernel(k, (N,), (128,), wait_events=[ev_w])
+    q.finish()
+    assert ev_k.profile_start >= ev_w.profile_end
+
+
+def test_barrier_orders_out_of_order_queue(setup):
+    ctx, make_kernel = setup
+    q = ctx.create_queue("gpu0", out_of_order=True)
+    big = ctx.create_buffer(256 << 20)
+    k = make_kernel()
+    ev_w = q.enqueue_write_buffer(big)
+    bar = q.enqueue_barrier()
+    ev_k = q.enqueue_nd_range_kernel(k, (N,), (128,))
+    q.finish()
+    assert bar.profile_end >= ev_w.profile_end
+    assert ev_k.profile_start >= bar.profile_end
+
+
+def test_barrier_is_marker_on_in_order_queue(setup):
+    ctx, make_kernel = setup
+    q = ctx.create_queue("gpu0")
+    k = make_kernel()
+    e1 = q.enqueue_nd_range_kernel(k, (N,), (128,))
+    bar = q.enqueue_barrier()
+    e2 = q.enqueue_nd_range_kernel(k, (N,), (128,))
+    q.finish()
+    assert e1.profile_end <= bar.profile_start or bar.profile_start >= 0
+    assert e2.profile_start >= bar.profile_end
+
+
+def test_finish_drains_every_outstanding_command(setup):
+    """finish() on an OOO queue waits for *all* commands, not just the
+    last-enqueued one (which may complete first)."""
+    ctx, make_kernel = setup
+    q = ctx.create_queue("gpu0", out_of_order=True)
+    big = ctx.create_buffer(512 << 20)  # slow transfer
+    k = make_kernel()
+    ev_slow = q.enqueue_write_buffer(big)  # slow
+    ev_fast = q.enqueue_nd_range_kernel(k, (N,), (128,))  # fast, enqueued later
+    q.finish()
+    assert ev_slow.complete and ev_fast.complete
+    assert ev_fast.profile_end < ev_slow.profile_end  # kernel finished first
+
+
+def test_out_of_order_via_c_api(bare_platform):
+    ctx = bare_platform.create_context()
+    q = clCreateCommandQueue(ctx, out_of_order=True)
+    assert q.out_of_order
+    ev = clEnqueueBarrier(q)
+    q.finish()
+    assert ev.complete
+
+
+def test_double_buffered_pipeline_beats_in_order(setup):
+    """The classic result: with chunked write→compute, an OOO queue
+    overlaps chunk i+1's upload with chunk i's kernel."""
+    ctx, make_kernel = setup
+
+    def pipeline(out_of_order: bool) -> float:
+        q = ctx.create_queue("gpu1", out_of_order=out_of_order)
+        engine = ctx.platform.engine
+        t0 = engine.now
+        prev_kernel = None
+        for chunk in range(4):
+            buf = ctx.create_buffer(128 << 20)
+            k = make_kernel()
+            up = q.enqueue_write_buffer(buf)
+            waits = [up] + ([prev_kernel] if prev_kernel else [])
+            prev_kernel = q.enqueue_nd_range_kernel(
+                k, (N,), (128,), wait_events=waits
+            )
+        q.finish()
+        return engine.now - t0
+
+    t_in_order = pipeline(False)
+    t_ooo = pipeline(True)
+    assert t_ooo < t_in_order * 0.95, (t_ooo, t_in_order)

@@ -1,0 +1,222 @@
+"""Command queues: manual issue path, in-order semantics, migrations,
+capacity checks, explicit regions."""
+
+import numpy as np
+import pytest
+
+from repro.ocl.enums import SchedFlag
+from repro.ocl.errors import (
+    InvalidCommandQueue,
+    InvalidOperation,
+    InvalidValue,
+    MemAllocationFailure,
+)
+from repro.ocl.memory import HOST
+
+SRC = """
+// @multicl flops_per_item=50 bytes_per_item=16 writes=1
+__kernel void f(__global float* in, __global float* out, int n) { }
+"""
+
+
+@pytest.fixture
+def ctx(manual_context):
+    return manual_context
+
+
+@pytest.fixture
+def prog(ctx):
+    return ctx.create_program(SRC).build()
+
+
+def _kernel(ctx, prog, n=1 << 12):
+    a = ctx.create_buffer(4 * n, host_array=np.arange(n, dtype=np.float32))
+    b = ctx.create_buffer(4 * n, host_array=np.zeros(n, dtype=np.float32))
+    k = prog.create_kernel("f")
+    k.set_arg(0, a)
+    k.set_arg(1, b)
+    k.set_arg(2, n)
+    return k, a, b
+
+
+def test_default_device_is_first(ctx):
+    q = ctx.create_queue()
+    assert q.device == "cpu"
+
+
+def test_unknown_device_rejected(ctx):
+    with pytest.raises(InvalidValue):
+        ctx.create_queue("npu")
+
+
+def test_auto_flags_without_scheduler_rejected(ctx):
+    with pytest.raises(InvalidOperation):
+        ctx.create_queue(sched_flags=SchedFlag.SCHED_AUTO_DYNAMIC)
+
+
+def test_manual_queue_issues_immediately(ctx, prog):
+    q = ctx.create_queue("gpu0")
+    k, a, b = _kernel(ctx, prog)
+    ev = q.enqueue_nd_range_kernel(k, (1 << 12,), (64,))
+    assert ev.task is not None  # issued, not deferred
+    q.finish()
+    assert ev.complete
+
+
+def test_write_read_roundtrip_functional(ctx, prog):
+    n = 256
+    q = ctx.create_queue("gpu0")
+    buf = ctx.create_buffer(4 * n, host_array=np.zeros(n, np.float32))
+    data = np.arange(n, dtype=np.float32)
+    q.enqueue_write_buffer(buf, data)
+    out = np.empty(n, dtype=np.float32)
+    q.enqueue_read_buffer(buf, out)
+    q.finish()
+    assert np.array_equal(out, data)
+
+
+def test_write_marks_residency(ctx):
+    q = ctx.create_queue("gpu0")
+    buf = ctx.create_buffer(1 << 20)
+    q.enqueue_write_buffer(buf)
+    assert buf.is_valid_on("gpu0") and buf.is_valid_on(HOST)
+
+
+def test_kernel_write_invalidates_other_copies(ctx, prog):
+    q = ctx.create_queue("gpu0")
+    k, a, b = _kernel(ctx, prog)
+    b.mark_valid(HOST)
+    b.mark_valid("cpu")
+    q.enqueue_nd_range_kernel(k, (1 << 12,), (64,))
+    assert b.valid_on == {"gpu0"}
+    # Read-only arg 'a' keeps its copies and gains gpu0.
+    assert a.is_valid_on("gpu0")
+
+
+def test_in_order_queue_serialises_commands(ctx, prog):
+    q = ctx.create_queue("gpu0")
+    k, a, b = _kernel(ctx, prog)
+    e1 = q.enqueue_nd_range_kernel(k, (1 << 12,), (64,))
+    e2 = q.enqueue_nd_range_kernel(k, (1 << 12,), (64,))
+    q.finish()
+    assert e2.profile_start >= e1.profile_end
+
+
+def test_implicit_migration_from_host(ctx, prog):
+    q = ctx.create_queue("gpu1")
+    k, a, b = _kernel(ctx, prog)
+    a.mark_valid(HOST)
+    q.enqueue_nd_range_kernel(k, (1 << 12,), (64,))
+    q.finish()
+    migs = ctx.platform.engine.trace.filter(category="migration")
+    assert any(iv.meta.get("direction") == "h2d" for iv in migs)
+
+
+def test_implicit_migration_d2d_staged(ctx, prog):
+    k, a, b = _kernel(ctx, prog)
+    q0 = ctx.create_queue("gpu0")
+    a.mark_exclusive("gpu0")
+    b.mark_exclusive("gpu0")
+    q1 = ctx.create_queue("gpu1")
+    q1.enqueue_nd_range_kernel(k, (1 << 12,), (64,))
+    q1.finish()
+    migs = ctx.platform.engine.trace.filter(category="migration")
+    directions = [iv.meta.get("direction") for iv in migs]
+    assert "d2h" in directions and "h2d" in directions
+
+
+def test_uninitialized_buffer_needs_no_migration(ctx, prog):
+    q = ctx.create_queue("gpu0")
+    k, a, b = _kernel(ctx, prog)
+    a.valid_on.clear()
+    b.valid_on.clear()
+    q.enqueue_nd_range_kernel(k, (1 << 12,), (64,))
+    q.finish()
+    assert ctx.platform.engine.trace.count(category="migration") == 0
+
+
+def test_capacity_check_rejects_oversized_buffers(ctx):
+    q = ctx.create_queue("gpu0")  # 3 GB device
+    big = ctx.create_buffer(4 * 10 ** 9)
+    with pytest.raises(MemAllocationFailure):
+        q.enqueue_write_buffer(big)
+
+
+def test_capacity_counts_resident_set(ctx):
+    q = ctx.create_queue("gpu0")
+    first = ctx.create_buffer(2 * 10 ** 9)
+    second = ctx.create_buffer(2 * 10 ** 9)
+    q.enqueue_write_buffer(first)
+    with pytest.raises(MemAllocationFailure):
+        q.enqueue_write_buffer(second)
+
+
+def test_copy_buffer_functional(ctx):
+    n = 64
+    q = ctx.create_queue("gpu0")
+    src = ctx.create_buffer(8 * n, host_array=np.arange(n, dtype=np.float64))
+    dst = ctx.create_buffer(8 * n, host_array=np.zeros(n))
+    src.mark_valid(HOST)
+    q.enqueue_copy_buffer(src, dst)
+    q.finish()
+    assert np.array_equal(dst.array, np.arange(n, dtype=np.float64))
+    assert dst.valid_on == {"gpu0"}
+
+
+def test_marker_waits_for_wait_list(ctx, prog):
+    q0 = ctx.create_queue("gpu0")
+    q1 = ctx.create_queue("gpu1")
+    k, a, b = _kernel(ctx, prog)
+    e = q0.enqueue_nd_range_kernel(k, (1 << 12,), (64,))
+    m = q1.enqueue_marker(wait_events=[e])
+    q1.finish()
+    assert m.profile_start >= e.profile_end
+
+
+def test_cross_context_buffer_rejected(bare_platform):
+    ctx1 = bare_platform.create_context()
+    ctx2 = bare_platform.create_context()
+    buf = ctx1.create_buffer(64)
+    q = ctx2.create_queue()
+    with pytest.raises(InvalidValue):
+        q.enqueue_write_buffer(buf)
+
+
+def test_released_queue_rejects_commands(ctx):
+    q = ctx.create_queue()
+    q.release()
+    with pytest.raises(InvalidCommandQueue):
+        q.enqueue_marker()
+    q.release()  # idempotent
+
+
+def test_finish_marks_epoch(ctx):
+    q = ctx.create_queue()
+    assert q.epoch_index == 0
+    q.enqueue_marker()
+    q.finish()
+    assert q.epoch_index == 1
+
+
+def test_set_sched_property_without_scheduler_rejected(ctx):
+    q = ctx.create_queue()
+    with pytest.raises(InvalidOperation):
+        q.set_sched_property(SchedFlag.SCHED_AUTO_DYNAMIC)
+
+
+def test_rebind_validates_device(ctx):
+    q = ctx.create_queue()
+    with pytest.raises(InvalidValue):
+        q.rebind("npu")
+    q.rebind("gpu1")
+    assert q.device == "gpu1"
+    assert q.binding_history == ["cpu", "gpu1"]
+
+
+def test_release_with_pending_work_drains_first(autofit):
+    from repro.ocl.enums import SchedFlag as SF
+
+    q = autofit.queue(flags=SF.SCHED_AUTO_DYNAMIC)
+    ev = q.enqueue_marker()
+    q.release()
+    assert q.released and ev.complete

@@ -1,0 +1,263 @@
+"""FDM-Seismology numerical substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.workloads.seismology.fdm import (
+    FDMParameters,
+    FDMSimulation,
+    RegionPairSimulation,
+    ricker_wavelet,
+)
+
+FIELDS = ("vx", "vz", "sxx", "szz", "sxz")
+
+
+def _params(**kw):
+    base = dict(nx=64, nz=64)
+    base.update(kw)
+    return FDMParameters(**base)
+
+
+# ---------------------------------------------------------------------------
+# Parameters
+# ---------------------------------------------------------------------------
+def test_cfl_violation_rejected():
+    with pytest.raises(ValueError):
+        FDMParameters(nx=64, nz=64, dt=1.0)
+
+
+def test_vs_must_be_below_vp():
+    with pytest.raises(ValueError):
+        FDMParameters(nx=64, nz=64, vs=4000.0, vp=3000.0)
+
+
+def test_tiny_grid_rejected():
+    with pytest.raises(ValueError):
+        FDMParameters(nx=8, nz=64)
+
+
+def test_lame_parameters():
+    p = _params()
+    assert p.mu == pytest.approx(p.rho * p.vs ** 2)
+    assert p.lam == pytest.approx(p.rho * (p.vp ** 2 - 2 * p.vs ** 2))
+    assert p.lam > 0 and p.mu > 0
+
+
+def test_ricker_wavelet_shape():
+    f = 10.0
+    t = np.linspace(0, 0.4, 400)
+    w = ricker_wavelet(t, f)
+    # Peak at t = 1/f, amplitude 1.
+    assert t[np.argmax(w)] == pytest.approx(1.0 / f, abs=0.01)
+    assert w.max() == pytest.approx(1.0, abs=1e-3)
+    # Zero-mean-ish wavelet: side lobes are negative.
+    assert w.min() < 0
+
+
+# ---------------------------------------------------------------------------
+# Monolithic solver
+# ---------------------------------------------------------------------------
+def test_fields_start_at_rest():
+    sim = FDMSimulation(_params())
+    assert sim.energy() == 0.0
+
+
+def test_source_excites_wavefield():
+    sim = FDMSimulation(_params())
+    sim.run(20)
+    assert sim.energy() > 0.0
+    assert np.abs(sim.vx).max() > 0 or np.abs(sim.vz).max() > 0
+
+
+def test_stability_long_run():
+    sim = FDMSimulation(_params())
+    sim.run(400)
+    for f in FIELDS:
+        assert np.isfinite(getattr(sim, f)).all()
+
+
+def test_energy_bounded_after_source_stops():
+    """Once the Ricker pulse has passed and the sponge absorbs outgoing
+    waves, energy must not grow."""
+    sim = FDMSimulation(_params())
+    sim.run(150)  # source active ~2/f = 0.167s = 167 steps
+    e1 = sim.energy()
+    sim.run(150)
+    e2 = sim.energy()
+    assert e2 <= e1 * 1.05
+
+
+def test_sponge_damps_boundaries():
+    damped = FDMSimulation(_params(sponge_strength=0.03))
+    free = FDMSimulation(_params(sponge_strength=0.0))
+    damped.run(300)
+    free.run(300)
+    assert damped.energy() < free.energy()
+
+
+def test_wave_propagates_outward():
+    sim = FDMSimulation(_params(nx=96, nz=96))
+    i, j = sim._source_pos
+    sim.run(30)
+    near = np.abs(sim.szz[i - 3 : i + 3, j - 3 : j + 3]).max()
+    sim.run(120)
+    # After enough steps the disturbance reaches points far from the source.
+    far = np.abs(sim.szz[i + 30, j])
+    assert near > 0 and far > 0
+
+
+def test_snapshot_is_a_copy():
+    sim = FDMSimulation(_params())
+    sim.run(10)
+    snap = sim.wavefield_snapshot()
+    sim.run(10)
+    assert not np.array_equal(snap["vx"], sim.vx)
+
+
+def test_deterministic():
+    a = FDMSimulation(_params())
+    b = FDMSimulation(_params())
+    a.run(50)
+    b.run(50)
+    for f in FIELDS:
+        assert np.array_equal(getattr(a, f), getattr(b, f))
+
+
+# ---------------------------------------------------------------------------
+# Region-split solver
+# ---------------------------------------------------------------------------
+def test_region_split_requires_even_nx():
+    with pytest.raises(ValueError):
+        RegionPairSimulation(FDMParameters(nx=63 + 2, nz=64))  # 65 odd
+
+
+def test_region_split_matches_monolithic_exactly():
+    """The headline property: two regions + halo exchange == one domain."""
+    p = _params(nx=96, nz=80)
+    mono = FDMSimulation(p)
+    pair = RegionPairSimulation(p)
+    mono.run(120)
+    pair.run(120)
+    for f in FIELDS:
+        assert np.array_equal(getattr(mono, f), getattr(pair.mono, f)), f
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    steps=st.integers(min_value=1, max_value=60),
+    nx=st.sampled_from([32, 64, 96]),
+)
+def test_region_split_equivalence_property(steps, nx):
+    p = _params(nx=nx, nz=48)
+    mono = FDMSimulation(p)
+    pair = RegionPairSimulation(p)
+    mono.run(steps)
+    pair.run(steps)
+    for f in FIELDS:
+        assert np.array_equal(getattr(mono, f), getattr(pair.mono, f)), f
+
+
+def test_region_phases_are_restricted_to_columns():
+    p = _params()
+    pair = RegionPairSimulation(p)
+    pair.run(25)  # develop a wavefield
+    before = pair.mono.vx.copy()
+    pair.step_velocity_region(0)
+    after = pair.mono.vx
+    # Only region 0's columns changed.
+    assert not np.array_equal(before[: pair.half], after[: pair.half])
+    assert np.array_equal(before[pair.half :], after[pair.half :])
+
+
+def test_source_region_identified():
+    pair = RegionPairSimulation(_params())
+    # Source at nx//2 => first column of region 1.
+    assert pair.source_region == 1
+
+
+def test_interface_halo_bytes():
+    pair = RegionPairSimulation(_params(nz=100))
+    assert pair.interface_halo_bytes() == 5 * 100 * 8
+
+
+# ---------------------------------------------------------------------------
+# 3-D solver (the paper's "three-dimensional grid")
+# ---------------------------------------------------------------------------
+from repro.workloads.seismology.fdm3d import (  # noqa: E402
+    ALL_FIELDS,
+    FDM3DParameters,
+    FDM3DSimulation,
+    RegionPair3D,
+)
+
+
+def test_3d_cfl_and_bounds_validation():
+    with pytest.raises(ValueError):
+        FDM3DParameters(dt=1.0)
+    with pytest.raises(ValueError):
+        FDM3DParameters(nx=8)
+    with pytest.raises(ValueError):
+        FDM3DParameters(vs=4000.0)
+
+
+def test_3d_source_excites_all_velocity_components():
+    sim = FDM3DSimulation(FDM3DParameters(nx=28, ny=28, nz=28))
+    sim.run(25)
+    assert sim.energy() > 0
+    for f in ("vx", "vy", "vz"):
+        assert np.abs(getattr(sim, f)).max() > 0, f
+
+
+def test_3d_stability_and_energy_bound():
+    sim = FDM3DSimulation(FDM3DParameters(nx=24, ny=24, nz=24))
+    sim.run(180)
+    e1 = sim.energy()
+    sim.run(120)
+    assert sim.energy() <= e1 * 1.1
+    for f in ALL_FIELDS:
+        assert np.isfinite(getattr(sim, f)).all(), f
+
+
+def test_3d_region_split_matches_monolithic_exactly():
+    p = FDM3DParameters(nx=32, ny=24, nz=20)
+    mono = FDM3DSimulation(p)
+    pair = RegionPair3D(p)
+    mono.run(50)
+    pair.run(50)
+    for f in ALL_FIELDS:
+        assert np.array_equal(getattr(mono, f), getattr(pair.mono, f)), f
+
+
+@settings(max_examples=5, deadline=None)
+@given(
+    steps=st.integers(min_value=1, max_value=35),
+    nx=st.sampled_from([16, 24, 32]),
+)
+def test_3d_region_split_equivalence_property(steps, nx):
+    p = FDM3DParameters(nx=nx, ny=16, nz=16)
+    mono = FDM3DSimulation(p)
+    pair = RegionPair3D(p)
+    mono.run(steps)
+    pair.run(steps)
+    for f in ALL_FIELDS:
+        assert np.array_equal(getattr(mono, f), getattr(pair.mono, f)), f
+
+
+def test_3d_region_split_requires_even_nx():
+    with pytest.raises(ValueError):
+        RegionPair3D(FDM3DParameters(nx=17 + 12))  # 29 odd
+
+
+def test_3d_halo_bytes():
+    pair = RegionPair3D(FDM3DParameters(nx=24, ny=20, nz=12))
+    assert pair.interface_halo_bytes() == 9 * 20 * 12 * 8
+
+
+def test_3d_snapshot_is_copy():
+    sim = FDM3DSimulation(FDM3DParameters(nx=16, ny=16, nz=16))
+    sim.run(5)
+    snap = sim.snapshot()
+    sim.run(5)
+    assert not np.array_equal(snap["szz"], sim.szz)

@@ -1,0 +1,64 @@
+"""Virtual clock invariants."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.clock import ClockError, SimClock
+
+
+def test_starts_at_zero():
+    assert SimClock().now == 0.0
+
+
+def test_custom_start():
+    assert SimClock(5.0).now == 5.0
+
+
+def test_negative_start_rejected():
+    with pytest.raises(ClockError):
+        SimClock(-1.0)
+
+
+def test_advance_to():
+    c = SimClock()
+    c.advance_to(3.5)
+    assert c.now == 3.5
+
+
+def test_advance_to_same_time_is_noop():
+    c = SimClock(2.0)
+    c.advance_to(2.0)
+    assert c.now == 2.0
+
+
+def test_advance_backwards_rejected():
+    c = SimClock(2.0)
+    with pytest.raises(ClockError):
+        c.advance_to(1.999)
+
+
+def test_advance_by():
+    c = SimClock(1.0)
+    c.advance_by(0.5)
+    assert c.now == 1.5
+
+
+def test_advance_by_zero_ok():
+    c = SimClock(1.0)
+    c.advance_by(0.0)
+    assert c.now == 1.0
+
+
+def test_advance_by_negative_rejected():
+    with pytest.raises(ClockError):
+        SimClock().advance_by(-1e-9)
+
+
+@given(st.lists(st.floats(min_value=0.0, max_value=1e6), max_size=50))
+def test_monotone_under_any_advance_sequence(deltas):
+    c = SimClock()
+    last = 0.0
+    for d in deltas:
+        c.advance_by(d)
+        assert c.now >= last
+        last = c.now

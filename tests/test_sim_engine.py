@@ -1,0 +1,184 @@
+"""Discrete-event engine: task graphs, FIFO service, blocking semantics."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.engine import SimEngine, SimError, SimTask
+from repro.sim.resources import FifoResource
+
+
+def test_single_task_runs_for_duration(engine):
+    t = engine.task("t", 2.5)
+    engine.run_until(t)
+    assert t.done
+    assert t.start_time == 0.0
+    assert t.end_time == 2.5
+    assert engine.now == 2.5
+
+
+def test_zero_duration_task(engine):
+    t = engine.task("t", 0.0)
+    engine.run_until(t)
+    assert t.done and t.end_time == 0.0
+
+
+def test_negative_duration_rejected():
+    with pytest.raises(SimError):
+        SimTask("bad", -1.0)
+
+
+def test_dependency_ordering(engine):
+    a = engine.task("a", 1.0)
+    b = engine.task("b", 2.0, deps=[a])
+    engine.run_until(b)
+    assert b.start_time == a.end_time == 1.0
+    assert b.end_time == 3.0
+
+
+def test_diamond_dependencies(engine):
+    a = engine.task("a", 1.0)
+    b = engine.task("b", 2.0, deps=[a])
+    c = engine.task("c", 3.0, deps=[a])
+    d = engine.task("d", 0.5, deps=[b, c])
+    engine.run_until(d)
+    # b and c run concurrently (no shared resource): d starts at max end.
+    assert d.start_time == 4.0
+    assert d.end_time == 4.5
+
+
+def test_fifo_resource_serialises(engine):
+    r = FifoResource(engine, "dev")
+    a = engine.task("a", 1.0, resource=r)
+    b = engine.task("b", 1.0, resource=r)
+    engine.run_until_idle()
+    assert a.end_time == 1.0
+    assert b.start_time == 1.0 and b.end_time == 2.0
+    assert r.served == 2
+    assert r.busy_time == pytest.approx(2.0)
+
+
+def test_two_resources_run_concurrently(engine):
+    r1 = FifoResource(engine, "d1")
+    r2 = FifoResource(engine, "d2")
+    a = engine.task("a", 3.0, resource=r1)
+    b = engine.task("b", 3.0, resource=r2)
+    engine.run_until_idle()
+    assert a.end_time == 3.0 and b.end_time == 3.0
+
+
+def test_run_until_leaves_later_events_queued(engine):
+    a = engine.task("a", 1.0)
+    b = engine.task("b", 5.0)
+    engine.run_until(a)
+    assert engine.now == 1.0
+    assert not b.done
+    engine.run_until(b)
+    assert engine.now == 5.0
+
+
+def test_double_submit_rejected(engine):
+    t = SimTask("t", 1.0)
+    engine.submit(t)
+    with pytest.raises(SimError):
+        engine.submit(t)
+
+
+def test_dependency_on_unsubmitted_task_rejected(engine):
+    dep = SimTask("dep", 1.0)
+    with pytest.raises(SimError):
+        engine.submit(SimTask("t", 1.0, deps=[dep]))
+
+
+def test_wait_on_unsubmitted_task_rejected(engine):
+    t = SimTask("t", 1.0)
+    with pytest.raises(SimError):
+        engine.run_until(t)
+
+
+def test_deadlock_detected_on_empty_heap(engine):
+    done = engine.task("done", 0.0)
+    engine.run_until(done)
+    orphan = SimTask("orphan", 1.0)
+    orphan.state = "waiting"  # simulate a task that will never be made ready
+    with pytest.raises(SimError):
+        engine.run_until(orphan)
+
+
+def test_on_complete_callback_fires(engine):
+    seen = []
+    t = engine.task("t", 1.0)
+    t.on_complete(lambda task: seen.append(task.name))
+    engine.run_until(t)
+    assert seen == ["t"]
+
+
+def test_on_complete_after_done_fires_immediately(engine):
+    t = engine.task("t", 1.0)
+    engine.run_until(t)
+    seen = []
+    t.on_complete(lambda task: seen.append(True))
+    assert seen == [True]
+
+
+def test_elapse_advances_host_and_processes_concurrent_work(engine):
+    r = FifoResource(engine, "dev")
+    t = engine.task("t", 2.0, resource=r)
+    engine.elapse(5.0)
+    assert engine.now == 5.0
+    assert t.done and t.end_time == 2.0
+
+
+def test_schedule_in_past_rejected(engine):
+    engine.elapse(1.0)
+    with pytest.raises(SimError):
+        engine.schedule_at(0.5, lambda: None)
+
+
+def test_trace_records_completed_tasks(engine):
+    r = FifoResource(engine, "dev:x")
+    engine.task("k", 1.5, resource=r, category="kernel")
+    engine.run_until_idle()
+    assert engine.trace.total_time("dev:x", "kernel") == pytest.approx(1.5)
+    assert engine.trace.count("dev:x") == 1
+
+
+def test_run_until_idle_detects_unfinishable_tasks(engine):
+    t = SimTask("t", 1.0)
+    engine.submit(t)
+    # Manually corrupt: pretend a dependency never resolves.
+    engine._open_tasks += 1
+    with pytest.raises(SimError):
+        engine.run_until_idle()
+
+
+@given(
+    st.lists(
+        st.floats(min_value=0.0, max_value=10.0), min_size=1, max_size=20
+    )
+)
+def test_fifo_makespan_is_sum_of_durations(durations):
+    engine = SimEngine()
+    r = FifoResource(engine, "dev")
+    tasks = [engine.task(f"t{i}", d, resource=r) for i, d in enumerate(durations)]
+    engine.run_until_idle()
+    assert engine.now == pytest.approx(sum(durations))
+    # FIFO: completion order == submission order.
+    ends = [t.end_time for t in tasks]
+    assert ends == sorted(ends)
+
+
+@given(
+    st.lists(
+        st.floats(min_value=0.01, max_value=5.0), min_size=2, max_size=10
+    ),
+    st.integers(min_value=2, max_value=4),
+)
+def test_parallel_resources_makespan_is_max_of_loads(durations, n_resources):
+    engine = SimEngine()
+    resources = [FifoResource(engine, f"d{i}") for i in range(n_resources)]
+    loads = [0.0] * n_resources
+    for i, d in enumerate(durations):
+        engine.task(f"t{i}", d, resource=resources[i % n_resources])
+        loads[i % n_resources] += d
+    engine.run_until_idle()
+    assert engine.now == pytest.approx(max(loads))

@@ -1,0 +1,107 @@
+"""Chrome trace export and utilisation reporting."""
+
+import json
+
+import pytest
+
+from repro.sim.export import to_chrome_trace, utilization_report, write_chrome_trace
+from repro.sim.trace import Trace
+
+
+@pytest.fixture
+def trace():
+    t = Trace()
+    t.record("dev:cpu", "k1", "kernel", 0.0, 1.0, {"queue": "q0"})
+    t.record("dev:gpu0", "k2", "kernel", 0.5, 2.0)
+    t.record("link:pcie", "x", "transfer", 0.0, 0.4)
+    t.record("dev:gpu0", "p", "profile-kernel", 2.0, 2.5)
+    t.mark(1.0, "epoch:1")
+    return t
+
+
+def test_chrome_trace_structure(trace):
+    doc = to_chrome_trace(trace)
+    assert doc["displayTimeUnit"] == "ms"
+    events = doc["traceEvents"]
+    kinds = {e["ph"] for e in events}
+    assert kinds == {"M", "X", "i"}
+    # One complete event per interval.
+    complete = [e for e in events if e["ph"] == "X"]
+    assert len(complete) == 4
+
+
+def test_chrome_trace_thread_per_resource(trace):
+    doc = to_chrome_trace(trace)
+    names = {
+        e["args"]["name"]
+        for e in doc["traceEvents"]
+        if e["ph"] == "M" and e["name"] == "thread_name"
+    }
+    assert names == {"dev:cpu", "dev:gpu0", "link:pcie"}
+
+
+def test_chrome_trace_microseconds(trace):
+    doc = to_chrome_trace(trace)
+    k1 = next(e for e in doc["traceEvents"] if e.get("name") == "k1")
+    assert k1["ts"] == 0.0
+    assert k1["dur"] == pytest.approx(1e6)
+    assert k1["args"]["queue"] == "q0"
+
+
+def test_chrome_trace_marks_optional(trace):
+    with_marks = to_chrome_trace(trace, include_marks=True)
+    without = to_chrome_trace(trace, include_marks=False)
+    assert len(with_marks["traceEvents"]) == len(without["traceEvents"]) + 1
+
+
+def test_write_chrome_trace_roundtrip(trace, tmp_path):
+    path = write_chrome_trace(trace, str(tmp_path / "t.json"))
+    with open(path) as fh:
+        doc = json.load(fh)
+    assert doc["traceEvents"]
+
+
+def test_chrome_trace_json_serialisable_from_real_run(autofit):
+    """A full scheduled run exports cleanly (meta values stringified)."""
+    src = (
+        "// @multicl flops_per_item=50 bytes_per_item=8 writes=1\n"
+        "__kernel void k(__global float* a, __global float* b, int n) { }"
+    )
+    prog = autofit.context.create_program(src).build()
+    from repro.ocl.enums import SchedFlag
+
+    k = prog.create_kernel("k")
+    n = 1 << 14
+    a = autofit.context.create_buffer(4 * n)
+    b = autofit.context.create_buffer(4 * n)
+    k.set_arg(0, a)
+    k.set_arg(1, b)
+    k.set_arg(2, n)
+    q = autofit.queue(flags=SchedFlag.SCHED_AUTO_DYNAMIC)
+    q.enqueue_nd_range_kernel(k, (n,), (64,))
+    q.finish()
+    json.dumps(to_chrome_trace(autofit.engine.trace))  # must not raise
+
+
+def test_utilization_report(trace):
+    rep = utilization_report(trace, 0.0, 2.5)
+    assert rep["dev:cpu"]["busy_s"] == pytest.approx(1.0)
+    assert rep["dev:cpu"]["utilization"] == pytest.approx(1.0 / 2.5)
+    assert rep["dev:gpu0"]["by_category"] == {
+        "kernel": pytest.approx(1.5),
+        "profile-kernel": pytest.approx(0.5),
+    }
+
+
+def test_utilization_window_filtering(trace):
+    rep = utilization_report(trace, 1.9, 2.5)
+    assert set(rep) == {"dev:gpu0"}  # only the profile-kernel starts there
+
+
+def test_utilization_default_window(trace):
+    rep = utilization_report(trace)
+    assert rep["dev:gpu0"]["busy_s"] == pytest.approx(2.0)
+
+
+def test_utilization_empty_trace():
+    assert utilization_report(Trace()) == {}

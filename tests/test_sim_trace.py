@@ -1,0 +1,92 @@
+"""Trace accounting used by the evaluation harness."""
+
+import pytest
+
+from repro.sim.trace import Trace, TraceInterval
+
+
+@pytest.fixture
+def trace():
+    t = Trace()
+    t.record("dev:cpu", "k1", "kernel", 0.0, 1.0)
+    t.record("dev:gpu0", "k2", "kernel", 0.0, 2.0)
+    t.record("dev:cpu", "k3", "kernel", 1.0, 1.5)
+    t.record("link:pcie", "x1", "transfer", 0.5, 0.9, {"bytes": 100})
+    t.record("dev:gpu0", "p1", "profile-kernel", 2.0, 2.7)
+    return t
+
+
+def test_len(trace):
+    assert len(trace) == 5
+
+
+def test_filter_by_resource(trace):
+    assert len(trace.filter(resource="dev:cpu")) == 2
+
+
+def test_filter_by_category(trace):
+    assert len(trace.filter(category="kernel")) == 3
+
+
+def test_filter_combined(trace):
+    ivs = trace.filter(resource="dev:gpu0", category="kernel")
+    assert len(ivs) == 1 and ivs[0].task == "k2"
+
+
+def test_filter_predicate(trace):
+    ivs = trace.filter(predicate=lambda iv: iv.duration > 0.9)
+    assert {iv.task for iv in ivs} == {"k1", "k2"}
+
+
+def test_total_time(trace):
+    assert trace.total_time(category="kernel") == pytest.approx(3.5)
+    assert trace.total_time("dev:cpu") == pytest.approx(1.5)
+
+
+def test_count(trace):
+    assert trace.count(category="transfer") == 1
+
+
+def test_resources_and_categories_sorted(trace):
+    assert trace.resources() == ["dev:cpu", "dev:gpu0", "link:pcie"]
+    assert trace.categories() == ["kernel", "profile-kernel", "transfer"]
+
+
+def test_by_resource(trace):
+    by = trace.by_resource(category="kernel")
+    assert by == {"dev:cpu": pytest.approx(1.5), "dev:gpu0": pytest.approx(2.0)}
+
+
+def test_counts_by_resource(trace):
+    assert trace.counts_by_resource(category="kernel") == {
+        "dev:cpu": 2,
+        "dev:gpu0": 1,
+    }
+
+
+def test_between_uses_start_time(trace):
+    ivs = trace.between(0.5, 1.5)
+    assert {iv.task for iv in ivs} == {"x1", "k3"}
+
+
+def test_meta_preserved(trace):
+    iv = trace.filter(category="transfer")[0]
+    assert iv.meta["bytes"] == 100
+
+
+def test_marks():
+    t = Trace()
+    t.mark(1.0, "epoch:1")
+    t.mark(2.0, "epoch:2")
+    assert t.marks == [(1.0, "epoch:1"), (2.0, "epoch:2")]
+
+
+def test_interval_duration():
+    iv = TraceInterval("r", "t", "c", 1.0, 3.5)
+    assert iv.duration == pytest.approx(2.5)
+
+
+def test_extend():
+    t = Trace()
+    t.extend([TraceInterval("r", "t", "c", 0.0, 1.0)])
+    assert len(t) == 1
