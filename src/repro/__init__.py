@@ -45,6 +45,7 @@ from repro.hardware import (
     aji_cluster15_node,
 )
 from repro.sim.export import to_chrome_trace, utilization_report, write_chrome_trace
+from repro.sim.faults import FaultInjector, FaultPlan, FaultPolicy
 from repro.ocl import (
     Buffer,
     CommandQueue,
@@ -80,6 +81,9 @@ __all__ = [
     "to_chrome_trace",
     "write_chrome_trace",
     "utilization_report",
+    "FaultPlan",
+    "FaultPolicy",
+    "FaultInjector",
     "Platform",
     "get_platforms",
     "Context",

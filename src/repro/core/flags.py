@@ -17,6 +17,7 @@ Two layers of knobs, mirroring the paper:
 from __future__ import annotations
 
 import os
+import warnings
 from dataclasses import dataclass, field, replace
 from typing import Optional
 
@@ -72,9 +73,16 @@ class SchedulerConfig:
         freq = os.environ.get(ITERATIVE_FREQ_ENV)
         if freq is not None:
             try:
-                cfg = cfg.with_(iterative_refresh=max(0, int(freq)))
+                value = int(freq)
             except ValueError:
-                pass
+                warnings.warn(
+                    f"ignoring invalid {ITERATIVE_FREQ_ENV}={freq!r}: "
+                    f"expected an integer trigger count",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+            else:
+                cfg = cfg.with_(iterative_refresh=max(0, value))
         return cfg
 
 

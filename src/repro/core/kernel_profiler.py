@@ -29,6 +29,7 @@ Overhead mitigation, matching the paper:
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
 
@@ -63,6 +64,8 @@ class ProfilerStats:
     bytes_staged: int = 0
     staging_operations: int = 0
     refreshes: int = 0
+    #: cached per-device measurements dropped after device failures
+    invalidations: int = 0
 
 
 @dataclass
@@ -123,7 +126,7 @@ class KernelProfiler:
             self.stats.refreshes += 1
 
         kernel_cmds = [c for c in commands if c.is_kernel]
-        devices = list(self.context.device_names)
+        devices = list(self.context.active_device_names)
         if not kernel_cmds:
             return EpochProfile({d: 0.0 for d in devices})
 
@@ -147,10 +150,35 @@ class KernelProfiler:
         for cmd in kernel_cmds:
             per_dev = self.kernel_cache[self.kernel_key(cmd)]
             for d in devices:
-                seconds[d] += per_dev[d]
+                # A device can fail *inside* _measure (the profiling launches
+                # advance the clock); a missing column means "never ran here".
+                seconds[d] += per_dev.get(d, math.inf)
         if self.config.profile_caching:
             self.epoch_cache[ekey] = dict(seconds)
         return EpochProfile(seconds)
+
+    # ------------------------------------------------------------------
+    # Fault handling
+    # ------------------------------------------------------------------
+    def invalidate_device(self, device: str) -> int:
+        """Drop every cached measurement taken on failed ``device``.
+
+        Columns for surviving devices stay valid — a kernel's cost on gpu0
+        does not change because gpu1 died — so iterative workloads keep
+        their cache warm through a failure.  Returns the number of cache
+        entries touched.
+        """
+        removed = 0
+        for per_dev in self.kernel_cache.values():
+            if device in per_dev:
+                del per_dev[device]
+                removed += 1
+        for per_dev in self.epoch_cache.values():
+            if device in per_dev:
+                del per_dev[device]
+                removed += 1
+        self.stats.invalidations += removed
+        return removed
 
     # ------------------------------------------------------------------
     # Measurement

@@ -23,7 +23,8 @@ from repro.ocl.context import Context
 from repro.ocl.enums import ContextProperty, ContextScheduler, SchedFlag
 from repro.ocl.platform import Platform
 from repro.ocl.queue import CommandQueue
-from repro.sim.trace import Trace
+from repro.sim.faults import FaultInjector, FaultPlan, FaultPolicy
+from repro.sim.trace import FAULT_CATEGORY, RECOVERY_CATEGORY, Trace
 
 __all__ = ["RunStats", "MultiCL"]
 
@@ -44,6 +45,13 @@ class RunStats:
     kernel_seconds_by_device: Dict[str, float] = field(default_factory=dict)
     #: application kernel counts per device resource
     kernel_count_by_device: Dict[str, int] = field(default_factory=dict)
+    #: queues moved to a different device by fault recovery
+    remap_count: int = 0
+    #: commands requeued and replayed after device failures
+    replayed_commands: int = 0
+    #: simulated seconds lost to faults and recovery (aborted partial
+    #: executions, slowdown windows, replay backoff)
+    downtime_seconds: float = 0.0
 
     @property
     def profiling_seconds(self) -> float:
@@ -72,6 +80,9 @@ class RunStats:
         by_cat: Dict[str, float] = {}
         ksec: Dict[str, float] = {}
         kcnt: Dict[str, int] = {}
+        remaps = 0
+        replays = 0
+        downtime = 0.0
         for iv in trace:
             if not (t0 <= iv.start < t1):
                 continue
@@ -80,11 +91,23 @@ class RunStats:
                 dev = iv.resource[len("dev:"):]
                 ksec[dev] = ksec.get(dev, 0.0) + iv.duration
                 kcnt[dev] = kcnt.get(dev, 0) + 1
+            elif iv.category == FAULT_CATEGORY:
+                downtime += iv.duration
+            elif iv.category == RECOVERY_CATEGORY:
+                downtime += iv.duration
+                op = iv.meta.get("op")
+                if op == "remap":
+                    remaps += 1
+                elif op == "replay":
+                    replays += 1
         return RunStats(
             duration=t1 - t0,
             by_category=by_cat,
             kernel_seconds_by_device=ksec,
             kernel_count_by_device=kcnt,
+            remap_count=remaps,
+            replayed_commands=replays,
+            downtime_seconds=downtime,
         )
 
 
@@ -102,6 +125,12 @@ class MultiCL:
         Runtime :class:`~repro.core.flags.SchedulerConfig` (ablation knobs).
     profile_dir:
         Device-profile cache directory (tests pass a tmp dir).
+    fault_plan:
+        Optional :class:`~repro.sim.faults.FaultPlan` armed on the context
+        immediately (failures/slowdowns/outages at virtual timestamps).
+    fault_policy:
+        Recovery knobs (:class:`~repro.sim.faults.FaultPolicy`); defaults
+        to three replay attempts with exponential backoff.
     """
 
     def __init__(
@@ -110,6 +139,8 @@ class MultiCL:
         policy: Optional[ContextScheduler] = None,
         config: Optional[SchedulerConfig] = None,
         profile_dir: Optional[str] = None,
+        fault_plan: Optional[FaultPlan] = None,
+        fault_policy: Optional[FaultPolicy] = None,
     ) -> None:
         self.platform = Platform(node_spec, profile=True, profile_dir=profile_dir)
         properties: Dict = {}
@@ -119,6 +150,10 @@ class MultiCL:
             properties[CONFIG_PROPERTY_KEY] = config
         self.context: Context = self.platform.create_context(properties=properties)
         self._marks: List[float] = []
+        self.fault_policy = fault_policy
+        self.injector: Optional[FaultInjector] = None
+        if fault_plan is not None:
+            self.inject_faults(fault_plan, fault_policy)
 
     # ------------------------------------------------------------------
     # Object helpers
@@ -142,6 +177,24 @@ class MultiCL:
         name: Optional[str] = None,
     ) -> CommandQueue:
         return self.context.create_queue(device, flags, name=name)
+
+    # ------------------------------------------------------------------
+    # Fault injection
+    # ------------------------------------------------------------------
+    def inject_faults(
+        self, plan: FaultPlan, policy: Optional[FaultPolicy] = None
+    ) -> FaultInjector:
+        """Arm ``plan`` on this runtime; events fire as virtual time passes.
+
+        Reuses one injector across calls so failure/replay/remap counters
+        accumulate over the whole run.
+        """
+        if self.injector is None:
+            self.injector = FaultInjector(
+                self.context, policy or self.fault_policy
+            )
+        self.injector.arm(plan)
+        return self.injector
 
     # ------------------------------------------------------------------
     # Measurement

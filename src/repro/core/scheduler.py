@@ -25,7 +25,7 @@ from __future__ import annotations
 import math
 from typing import Dict, List, Optional, Sequence, TYPE_CHECKING
 
-from repro.core.device_mapper import optimal_mapping
+from repro.core.device_mapper import MapperError, optimal_mapping
 from repro.core.flags import CONFIG_PROPERTY_KEY, ScheduleOptions, SchedulerConfig
 from repro.core.kernel_profiler import KernelProfiler
 from repro.core.minikernel import transform_program
@@ -43,10 +43,14 @@ __all__ = ["RoundRobinScheduler", "AutoFitScheduler"]
 
 
 def _snucl_device_order(context: "Context") -> List[str]:
-    """Device enumeration order: accelerators/GPUs first, CPUs last."""
+    """Device enumeration order: accelerators/GPUs first, CPUs last.
+
+    Failed devices are excluded — schedulers only ever map to the active
+    (degraded) pool.
+    """
     node = context.platform.node
     rank = {DeviceKind.ACCELERATOR: 0, DeviceKind.GPU: 0, DeviceKind.CPU: 1}
-    names = list(context.device_names)
+    names = list(context.active_device_names)
     return sorted(names, key=lambda n: (rank[node.device(n).spec.kind], names.index(n)))
 
 
@@ -83,7 +87,19 @@ class MultiCLSchedulerBase(SchedulerBase):
             # (the costly alternative discussed in Section V.A).
             self.on_sync([queue], trigger_queue=queue)
 
+    # -- fault handling ----------------------------------------------------
+    def on_device_failure(self, device: str) -> None:
+        """Kernel/epoch profiles measured on ``device`` are dead weight;
+        drop them so degraded-pool mapping never consults the failure."""
+        self.profiler.invalidate_device(device)
+
     # -- helpers -----------------------------------------------------------
+    def _active_devices(self) -> List[str]:
+        devices = list(self.context.active_device_names)
+        if not devices:
+            raise MapperError("no feasible device remains (all failed)")
+        return devices
+
     def _record(self, pool: Sequence["CommandQueue"]) -> None:
         self.mapping_history.append({q.name: q.device for q in pool})
 
@@ -105,18 +121,27 @@ class RoundRobinScheduler(MultiCLSchedulerBase):
         trigger_queue: Optional["CommandQueue"] = None,
     ) -> None:
         order = _snucl_device_order(self.context)
+        if not order:
+            raise MapperError("no feasible device remains (all failed)")
         for q in sorted(pool, key=lambda q: q.id):
             # Each queue gets the next available device once; later triggers
             # keep the binding (re-assigning every epoch would thrash data
             # across devices, which round-robin cannot reason about).
+            # A binding to a since-failed device is reassigned cyclically.
             dev = self._assigned.get(q.id)
-            if dev is None:
+            if dev is None or dev not in order:
                 dev = order[self._cursor % len(order)]
                 self._assigned[q.id] = dev
                 self._cursor += 1
             q.rebind(dev)
         self._record(pool)
         self._issue(pool)
+
+    def on_device_failure(self, device: str) -> None:
+        super().on_device_failure(device)
+        self._assigned = {
+            qid: d for qid, d in self._assigned.items() if d != device
+        }
 
 
 class AutoFitScheduler(MultiCLSchedulerBase):
@@ -144,10 +169,11 @@ class AutoFitScheduler(MultiCLSchedulerBase):
     # ------------------------------------------------------------------
     def _map_static(self, queues: Sequence["CommandQueue"]) -> None:
         profile = self.context.platform.device_profile
-        loads: Dict[str, float] = {d: 0.0 for d in self.context.device_names}
+        devices = self._active_devices()
+        loads: Dict[str, float] = {d: 0.0 for d in devices}
         for q in queues:
             options = ScheduleOptions.from_flags(q.sched_flags)
-            scores = self._hint_scores(options, profile)
+            scores = self._hint_scores(options, profile, devices)
             # Greedy balance: unit work 1/score; pick the device finishing
             # this queue earliest.
             best = min(
@@ -157,8 +183,9 @@ class AutoFitScheduler(MultiCLSchedulerBase):
             loads[best] += 1.0 / scores[best]
             q.rebind(best)
 
-    def _hint_scores(self, options: ScheduleOptions, profile) -> Dict[str, float]:
-        devices = list(self.context.device_names)
+    def _hint_scores(
+        self, options: ScheduleOptions, profile, devices: Sequence[str]
+    ) -> Dict[str, float]:
         if options.io_bound:
             return {d: 1.0 / max(profile.h2d_seconds(d, 1 << 20), 1e-12) for d in devices}
         if options.memory_bound:
@@ -171,17 +198,23 @@ class AutoFitScheduler(MultiCLSchedulerBase):
     # ------------------------------------------------------------------
     def _map_dynamic(self, queues: Sequence["CommandQueue"]) -> None:
         profile = self.context.platform.device_profile
-        devices = list(self.context.device_names)
-        cost: Dict[str, Dict[str, float]] = {}
+        epochs: Dict[str, "EpochProfile"] = {}
         for q in queues:
             options = ScheduleOptions.from_flags(q.sched_flags)
-            epoch = self.profiler.profile_epoch(q, q.pending, options)
+            epochs[q.name] = self.profiler.profile_epoch(q, q.pending, options)
+        # Profiling advances the virtual clock, so a device may have failed
+        # *during* this pass (fault injection): map over the devices active
+        # now, treating any device without a measurement as infeasible.
+        devices = self._active_devices()
+        cost: Dict[str, Dict[str, float]] = {}
+        for q in queues:
             row: Dict[str, float] = {}
             for d in devices:
                 if not self._fits(q, d):
                     row[d] = math.inf
                     continue
-                row[d] = epoch.seconds[d] + self._transfer_estimate(q, d, profile)
+                seconds = epochs[q.name].seconds.get(d, math.inf)
+                row[d] = seconds + self._transfer_estimate(q, d, profile)
             cost[q.name] = row
         preferred = {q.name: q.device for q in queues}
         result = optimal_mapping([q.name for q in queues], devices, cost, preferred)

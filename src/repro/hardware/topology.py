@@ -29,6 +29,9 @@ class SimDevice:
         self.engine = engine
         self.spec = spec
         self.resource = FifoResource(engine, f"dev:{spec.name}")
+        #: transient service-time multiplier (fault injection: thermal
+        #: throttling / noisy neighbours); 1.0 = nominal speed.
+        self.slowdown = 1.0
 
     @property
     def name(self) -> str:
@@ -47,6 +50,7 @@ class SimDevice:
         duration = (
             workgroup_time(self.spec, cost) if minikernel else kernel_time(self.spec, cost)
         )
+        duration *= self.slowdown
         info = {"device": self.name, "kernel": name, "minikernel": minikernel}
         if meta:
             info.update(meta)
@@ -67,7 +71,7 @@ class SimDevice:
         name: str = "d2d-local",
     ) -> SimTask:
         """A copy within device memory (charged at device bandwidth)."""
-        duration = nbytes / (self.spec.mem_bandwidth_gbs * GB)
+        duration = nbytes / (self.spec.mem_bandwidth_gbs * GB) * self.slowdown
         return self.engine.task(
             name=f"{name}@{self.name}",
             duration=duration,

@@ -57,6 +57,12 @@ class Context:
         self.queues: List[CommandQueue] = []
         self.programs: List[Program] = []
         self.scheduler: Optional[SchedulerBase] = None
+        # Re-entrancy guards for _sync_pending: fault injection can fire
+        # *inside* a scheduling pass (the profiler advances virtual time)
+        # and request another pass; it folds into the active one.
+        self._in_sync = False
+        self._resync_needed = False
+        self._post_sync: List[Any] = []
         policy = self.properties.get(ContextProperty.CL_CONTEXT_SCHEDULER)
         if policy is not None:
             try:
@@ -115,22 +121,58 @@ class Context:
         """Auto queues holding deferred commands (the ready-queue pool)."""
         return [q for q in self.queues if q.pending]
 
+    @property
+    def active_device_names(self) -> List[str]:
+        """Context devices still available (failed devices removed)."""
+        return [d for d in self.device_names if self.platform.is_available(d)]
+
+    def after_sync(self, fn) -> None:
+        """Run ``fn()`` once the current (or next) scheduling pass settles.
+
+        If no sync is in flight the callback runs at the end of the next
+        :meth:`_sync_pending` call — or immediately if that call finds an
+        empty pool.  Fault recovery uses this to record queue remaps after
+        the degraded-pool mapping is actually in place.
+        """
+        self._post_sync.append(fn)
+
     def _sync_pending(self, trigger_queue: Optional[CommandQueue] = None) -> None:
         """Synchronization boundary: hand the ready-queue pool to the
-        scheduler (which must profile, map, and issue)."""
-        pool = self.pending_queues()
-        if not pool:
+        scheduler (which must profile, map, and issue).
+
+        Re-entrant: if fault injection fires mid-pass (simulated time
+        advances inside the profiler) and requeues commands, the request is
+        folded into the active pass, which loops until the pool stays empty.
+        """
+        if self._in_sync:
+            self._resync_needed = True
             return
-        if self.scheduler is None:
-            raise InvalidOperation(
-                "deferred commands exist but the context has no scheduler"
-            )
-        self.scheduler.on_sync(pool, trigger_queue)
-        leftovers = [q.name for q in pool if q.pending]
-        if leftovers:
-            raise InvalidOperation(
-                f"scheduler left queues with pending commands: {leftovers}"
-            )
+        self._in_sync = True
+        try:
+            while True:
+                self._resync_needed = False
+                pool = self.pending_queues()
+                if not pool:
+                    break
+                if self.scheduler is None:
+                    raise InvalidOperation(
+                        "deferred commands exist but the context has no scheduler"
+                    )
+                self.scheduler.on_sync(pool, trigger_queue)
+                leftovers = [
+                    q.name for q in pool if q.pending and not self._resync_needed
+                ]
+                if leftovers:
+                    raise InvalidOperation(
+                        f"scheduler left queues with pending commands: {leftovers}"
+                    )
+                if not self._resync_needed:
+                    break
+        finally:
+            self._in_sync = False
+        callbacks, self._post_sync = self._post_sync, []
+        for fn in callbacks:
+            fn()
 
     def issue_pool(self, pool: Sequence[CommandQueue]) -> None:
         """Issue every deferred command of ``pool`` respecting cross-queue

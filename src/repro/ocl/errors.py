@@ -9,6 +9,7 @@ from __future__ import annotations
 
 __all__ = [
     "CLError",
+    "DeviceNotAvailable",
     "InvalidValue",
     "InvalidDevice",
     "InvalidContext",
@@ -33,6 +34,12 @@ class CLError(RuntimeError):
     def __init__(self, message: str = "") -> None:
         super().__init__(f"[CL {self.code}] {message}" if message else f"[CL {self.code}]")
         self.message = message
+
+
+class DeviceNotAvailable(CLError):
+    """CL_DEVICE_NOT_AVAILABLE — the device failed or went offline."""
+
+    code = -2
 
 
 class InvalidValue(CLError):

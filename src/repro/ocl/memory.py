@@ -140,6 +140,22 @@ class Buffer:
     def invalidate(self, holder: str) -> None:
         self.valid_on.discard(holder)
 
+    def drop_device(self, device: str) -> bool:
+        """Discard the copy on ``device`` (the device failed).
+
+        If that was the last valid copy, residency falls back to the host
+        shadow: functional payloads run on the host-side numpy array at
+        issue time, so the host copy is always current in this simulator.
+        Returns ``True`` if the host fallback was needed.
+        """
+        if device not in self.valid_on:
+            return False
+        self.valid_on.discard(device)
+        if not self.valid_on:
+            self.valid_on.add(HOST)
+            return True
+        return False
+
     def any_valid_device(self) -> Optional[str]:
         """Some device holding a valid copy, or None."""
         for h in sorted(self.valid_on):

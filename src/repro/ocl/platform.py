@@ -60,6 +60,8 @@ class Platform:
         self._device_profile = None
         self._profile_dir = profile_dir
         self._contexts_created = 0
+        #: devices taken offline by fault injection (permanent failures)
+        self._failed_devices: set = set()
         if profile:
             # Device profiling is invoked once during clGetPlatformIds
             # (paper Section V.A); with a warm cache this reads a JSON file
@@ -87,6 +89,24 @@ class Platform:
 
     def device(self, name: str) -> SimDevice:
         return self.node.device(name)
+
+    # ------------------------------------------------------------------
+    # Device availability (fault injection)
+    # ------------------------------------------------------------------
+    def mark_device_failed(self, name: str) -> None:
+        """Take ``name`` offline permanently (injected hardware failure)."""
+        if name not in self.device_names:
+            raise InvalidDevice(f"cannot fail unknown device {name!r}")
+        self._failed_devices.add(name)
+
+    def is_available(self, name: str) -> bool:
+        """Whether ``name`` is still serving work."""
+        return name not in self._failed_devices
+
+    @property
+    def available_device_names(self) -> List[str]:
+        """Device names in spec order, minus failed devices."""
+        return [n for n in self.device_names if n not in self._failed_devices]
 
     # ------------------------------------------------------------------
     # Device profiles (MultiCL's static device profiler)

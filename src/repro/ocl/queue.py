@@ -36,6 +36,7 @@ from typing import Any, Dict, List, Optional, Sequence, TYPE_CHECKING
 
 from repro.ocl.enums import CommandKind, SchedFlag
 from repro.ocl.errors import (
+    DeviceNotAvailable,
     InvalidCommandQueue,
     InvalidOperation,
     InvalidValue,
@@ -72,6 +73,11 @@ class Command:
     # filled in by the queue
     event: Optional[Event] = None
     issued: bool = False
+    #: failed issue attempts (fault injection); replays skip the functional
+    #: payload so non-idempotent kernels run exactly once
+    attempts: int = 0
+    #: task of the aborted incarnation awaiting adoption by the replay
+    aborted_task: Optional[Any] = None
 
     @property
     def is_kernel(self) -> bool:
@@ -123,6 +129,9 @@ class CommandQueue:
         self._tail: Optional["SimTask"] = None
         #: Every issued, not-yet-awaited task (finish() drains these).
         self._outstanding: List["SimTask"] = []
+        #: Issued commands not yet known complete (fault recovery requeues
+        #: from this list when a device fails).
+        self._inflight: List[Command] = []
         #: Last barrier task (out-of-order queues order around barriers).
         self._barrier: Optional["SimTask"] = None
         #: Completed synchronization epochs (for trace accounting).
@@ -340,6 +349,11 @@ class CommandQueue:
             raise InvalidCommandQueue(
                 f"queue {self.name!r}: issuing {cmd.kind} before its wait list"
             )
+        if not self.context.platform.is_available(self.device):
+            raise DeviceNotAvailable(
+                f"queue {self.name!r}: device {self.device!r} failed; "
+                f"rebind the queue or use an automatic scheduler"
+            )
         node = self.context.platform.node
         engine = self.context.platform.engine
         deps: List["SimTask"] = [e.task for e in cmd.wait_events if e.task is not None]
@@ -411,8 +425,13 @@ class CommandQueue:
         cmd.issued = True
         assert cmd.event is not None
         cmd.event._bind_task(task)
+        if cmd.aborted_task is not None:
+            # Replay: waiters of the aborted incarnation follow this task.
+            engine.adopt(cmd.aborted_task, task)
+            cmd.aborted_task = None
         self._tail = task
         self._outstanding.append(task)
+        self._inflight.append(cmd)
 
     def _issue_kernel(self, cmd: Command, deps: List["SimTask"]) -> "SimTask":
         kernel = cmd.kernel
@@ -433,13 +452,16 @@ class CommandQueue:
             category="kernel",
             meta={"queue": self.name, "epoch": self.epoch_index},
         )
-        # Functional payload runs in dependency (issue) order — see module doc.
-        saved = kernel.args
-        kernel.args = cmd.args_snapshot
-        try:
-            kernel.run_host_function()
-        finally:
-            kernel.args = saved
+        # Functional payload runs in dependency (issue) order — see module
+        # doc.  Replays after a device failure only re-charge simulated time:
+        # in-place kernels are not idempotent, so exactly-once matters.
+        if cmd.attempts == 0:
+            saved = kernel.args
+            kernel.args = cmd.args_snapshot
+            try:
+                kernel.run_host_function()
+            finally:
+                kernel.args = saved
         for buf in self._written_buffers(kernel, cmd.args_snapshot):
             buf.mark_exclusive(self.device)
         del config  # config folded into cost via launch_cost
@@ -504,6 +526,65 @@ class CommandQueue:
             )
 
     # ------------------------------------------------------------------
+    # Fault recovery
+    # ------------------------------------------------------------------
+    def requeue_unfinished(self, device: str) -> List[Command]:
+        """Pull issued-but-unfinished commands stranded on failed ``device``
+        back onto the deferred list for replay; returns them.
+
+        In-order queues replay the contiguous suffix starting at the first
+        unfinished command executing on the dead device (everything behind
+        it depends on it through the tail chain); the healthy prefix keeps
+        draining.  Out-of-order queues replay only the dead-device commands
+        — cross-command dependencies are repaired by task adoption when the
+        replays issue.  Transfers already on healthy links are left to
+        drain (in-flight DMA completes).
+        """
+        engine = self.context.platform.engine
+        resname = f"dev:{device}"
+        self._inflight = [
+            c
+            for c in self._inflight
+            if c.event is not None
+            and c.event.task is not None
+            and not c.event.task.done
+        ]
+
+        def on_dead(c: Command) -> bool:
+            t = c.event.task  # type: ignore[union-attr]
+            return t is not None and t.resource is not None and t.resource.name == resname
+
+        if self.out_of_order:
+            victims = [c for c in self._inflight if on_dead(c)]
+        else:
+            first = next(
+                (i for i, c in enumerate(self._inflight) if on_dead(c)), None
+            )
+            victims = [] if first is None else self._inflight[first:]
+        if not victims:
+            return []
+        victim_ids = {id(c) for c in victims}
+        self._inflight = [c for c in self._inflight if id(c) not in victim_ids]
+        for cmd in victims:
+            task = cmd.event.task  # type: ignore[union-attr]
+            engine.abort(task)
+            cmd.aborted_task = task
+            cmd.event.task = None  # type: ignore[union-attr]
+            cmd.issued = False
+            cmd.attempts += 1
+        # The in-order tail must point at the surviving prefix (or nothing);
+        # aborted tasks would otherwise anchor the replayed chain.
+        if not self.out_of_order:
+            self._tail = (
+                self._inflight[-1].event.task if self._inflight else None
+            )
+        if self._barrier is not None and self._barrier.aborted:
+            self._barrier = None
+        # Replays go to the *front* of the deferred list, in original order.
+        self.pending[:0] = victims
+        return victims
+
+    # ------------------------------------------------------------------
     # Synchronization
     # ------------------------------------------------------------------
     def flush(self) -> None:
@@ -513,13 +594,29 @@ class CommandQueue:
             self.context._sync_pending(trigger_queue=self)
 
     def finish(self) -> None:
-        """clFinish: schedule if needed, then block until the queue drains."""
+        """clFinish: schedule if needed, then block until the queue drains.
+
+        Fault injection can requeue commands *while* the host blocks here
+        (the clock advances inside ``run_until``), so the drain loops until
+        no deferred or unfinished work remains.
+        """
         self.flush()
         engine = self.context.platform.engine
-        for task in self._outstanding:
-            if not task.done:
-                engine.run_until(task)
+        while True:
+            if self.pending:
+                self.context._sync_pending(trigger_queue=self)
+                continue
+            # Aborted incarnations never complete; their replays were
+            # appended to _outstanding when they reissued, so waiting on
+            # the live tasks covers them.
+            tasks = [t for t in self._outstanding if not t.done and not t.aborted]
+            if not tasks:
+                break
+            for task in tasks:
+                if not task.done:
+                    engine.run_until(task)
         self._outstanding.clear()
+        self._inflight.clear()
         self.epoch_index += 1
         self.context.platform.engine.trace.mark(
             self.context.platform.engine.now, f"epoch:{self.name}:{self.epoch_index}"

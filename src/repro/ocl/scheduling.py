@@ -57,6 +57,12 @@ class SchedulerBase(ABC):
         deferred commands (the implementation must leave ``pool`` queues
         with empty pending lists)."""
 
+    # -- fault handling ----------------------------------------------------
+    def on_device_failure(self, device: str) -> None:
+        """``device`` permanently failed; drop any state that names it
+        (sticky assignments, cached measurements) before the degraded-pool
+        rescheduling pass runs."""
+
     # -- explicit regions --------------------------------------------------
     def on_region_start(self, queue: "CommandQueue") -> None:
         """clSetCommandQueueSchedProperty started a scheduling region."""

@@ -16,8 +16,15 @@ profiling overhead vs data staging).
 
 from repro.sim.clock import SimClock
 from repro.sim.engine import SimEngine, SimTask
+from repro.sim.faults import (
+    FaultEvent,
+    FaultInjector,
+    FaultKind,
+    FaultPlan,
+    FaultPolicy,
+)
 from repro.sim.resources import FifoResource
-from repro.sim.trace import Trace, TraceInterval
+from repro.sim.trace import FAULT_CATEGORY, RECOVERY_CATEGORY, Trace, TraceInterval
 from repro.sim.export import to_chrome_trace, utilization_report, write_chrome_trace
 
 __all__ = [
@@ -27,6 +34,13 @@ __all__ = [
     "FifoResource",
     "Trace",
     "TraceInterval",
+    "FAULT_CATEGORY",
+    "RECOVERY_CATEGORY",
+    "FaultKind",
+    "FaultEvent",
+    "FaultPlan",
+    "FaultPolicy",
+    "FaultInjector",
     "to_chrome_trace",
     "write_chrome_trace",
     "utilization_report",

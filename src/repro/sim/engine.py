@@ -34,6 +34,7 @@ _WAITING = "waiting"  # submitted, waiting on dependencies
 _READY = "ready"  # dependencies met, queued on its resource
 _RUNNING = "running"  # in service
 _DONE = "done"
+_ABORTED = "aborted"  # cancelled by fault injection; may have a replacement
 
 
 class SimTask:
@@ -70,6 +71,8 @@ class SimTask:
         "_unmet",
         "_dependents",
         "_callbacks",
+        "replacement",
+        "released_deps",
     )
 
     def __init__(
@@ -95,10 +98,20 @@ class SimTask:
         self._unmet = 0
         self._dependents: List[SimTask] = []
         self._callbacks: List[Callable[["SimTask"], None]] = []
+        #: When a fault aborts this task and the owning command is replayed,
+        #: points at the replacement incarnation (waiters follow the chain).
+        self.replacement: Optional["SimTask"] = None
+        #: Aborted with dependents released (orphaned work with no replay):
+        #: new dependency edges treat this task as satisfied.
+        self.released_deps = False
 
     @property
     def done(self) -> bool:
         return self.state == _DONE
+
+    @property
+    def aborted(self) -> bool:
+        return self.state == _ABORTED
 
     def on_complete(self, fn: Callable[["SimTask"], None]) -> None:
         """Register ``fn(task)`` to run when the task completes.
@@ -157,14 +170,25 @@ class SimEngine:
         task.state = _WAITING
         self._open_tasks += 1
         unmet = 0
-        for dep in task.deps:
-            if not dep.done:
-                if dep.state == _PENDING:
-                    raise SimError(
-                        f"task {task.name!r} depends on unsubmitted task {dep.name!r}"
-                    )
-                dep._dependents.append(task)
-                unmet += 1
+        for i, dep in enumerate(task.deps):
+            # A dependency aborted by fault injection resolves through its
+            # replacement chain (the replayed incarnation); an orphaned
+            # abort with released dependents counts as satisfied.
+            while dep.state == _ABORTED and dep.replacement is not None:
+                dep = dep.replacement
+            task.deps[i] = dep
+            if dep.done:
+                continue
+            if dep.state == _ABORTED and dep.released_deps:
+                continue
+            if dep.state == _PENDING:
+                raise SimError(
+                    f"task {task.name!r} depends on unsubmitted task {dep.name!r}"
+                )
+            # An aborted dep not yet replayed still collects dependents:
+            # adopt() transfers them to the replacement when it appears.
+            dep._dependents.append(task)
+            unmet += 1
         task._unmet = unmet
         if unmet == 0:
             self._make_ready(task)
@@ -197,6 +221,9 @@ class SimEngine:
         self.schedule_at(end, lambda: self._finish(task))
 
     def _finish(self, task: SimTask) -> None:
+        if task.state == _ABORTED:
+            # Stale completion event of a task cancelled by fault injection.
+            return
         task.state = _DONE
         task.end_time = self.now
         self._open_tasks -= 1
@@ -221,6 +248,75 @@ class SimEngine:
             fn(task)
 
     # ------------------------------------------------------------------
+    # Fault support
+    # ------------------------------------------------------------------
+    def abort(self, task: SimTask, release_dependents: bool = False) -> bool:
+        """Cancel a submitted, unfinished task (fault injection).
+
+        A task in service is pulled off its resource and the lost partial
+        work is recorded in the trace under the ``fault`` category.  With
+        ``release_dependents`` the task counts as satisfied for its waiters
+        (used for orphaned work like profiling launches on a dead device);
+        without it the caller is expected to :meth:`adopt` a replacement
+        task so waiters can follow the replay.  Returns ``False`` if the
+        task already completed or was already aborted.
+        """
+        if task.state in (_DONE, _ABORTED):
+            return False
+        if task.state == _PENDING:
+            raise SimError(f"cannot abort unsubmitted task {task.name!r}")
+        if task.state == _READY and task.resource is not None:
+            task.resource._remove(task)
+        elif task.state == _RUNNING:
+            if task.start_time is not None and self.now > task.start_time:
+                resname = task.resource.name if task.resource is not None else "host"
+                self.trace.record(
+                    resource=resname,
+                    task=f"lost:{task.name}",
+                    category="fault",
+                    start=task.start_time,
+                    end=self.now,
+                    meta={**task.meta, "aborted": True},
+                )
+            if task.resource is not None:
+                task.resource._abort_service(task)
+        task.state = _ABORTED
+        self._open_tasks -= 1
+        if release_dependents:
+            task.released_deps = True
+            for dep in task._dependents:
+                dep._unmet -= 1
+                if dep._unmet == 0 and dep.state == _WAITING:
+                    self._make_ready(dep)
+            task._dependents = []
+            task._callbacks = []
+        return True
+
+    def adopt(self, old: SimTask, new: SimTask) -> None:
+        """Make ``new`` the replacement of aborted ``old``.
+
+        Waiters (dependency edges and completion callbacks) registered on
+        the aborted incarnation transfer to the replacement, and blocked
+        :meth:`run_until` calls follow ``old.replacement`` to the live task.
+        """
+        if old.state != _ABORTED:
+            raise SimError(f"cannot adopt from non-aborted task {old.name!r}")
+        old.replacement = new
+        if new.done:
+            # Degenerate: replacement already finished — settle waiters now.
+            for dep in old._dependents:
+                dep._unmet -= 1
+                if dep._unmet == 0 and dep.state == _WAITING:
+                    self._make_ready(dep)
+            for fn in old._callbacks:
+                fn(new)
+        else:
+            new._dependents.extend(old._dependents)
+            new._callbacks.extend(old._callbacks)
+        old._dependents = []
+        old._callbacks = []
+
+    # ------------------------------------------------------------------
     # Running
     # ------------------------------------------------------------------
     def run_until(self, task: SimTask) -> float:
@@ -229,10 +325,21 @@ class SimEngine:
         This models a *blocking host call*: the simulated host waits for the
         task, and the shared clock lands exactly on the task's completion.
         Events scheduled later than that stay queued for subsequent runs.
+        If the task is aborted by fault injection while the host waits, the
+        wait follows the replacement chain to the replayed incarnation.
         """
         if task.state == _PENDING:
             raise SimError(f"cannot wait on unsubmitted task {task.name!r}")
-        while not task.done:
+        while True:
+            if task.state == _ABORTED:
+                if task.replacement is None:
+                    raise SimError(
+                        f"waiting on aborted task {task.name!r} with no replacement"
+                    )
+                task = task.replacement
+                continue
+            if task.done:
+                break
             if not self._heap:
                 raise SimError(
                     f"deadlock: waiting on {task.name!r} with an empty event heap"

@@ -33,6 +33,8 @@ _COLORS = {
     "schedule": "grey",
     "build": "generic_work",
     "devprofile": "good",
+    "fault": "black",
+    "recovery": "olive",
 }
 
 

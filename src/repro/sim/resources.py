@@ -50,6 +50,16 @@ class FifoResource:
         """Number of tasks waiting (excluding the one in service)."""
         return len(self._queue)
 
+    def pending_tasks(self) -> list:
+        """In-service task (if any) followed by the waiting queue.
+
+        Fault injection uses this to sweep unfinished work off a failed
+        resource.
+        """
+        out = [self._busy] if self._busy is not None else []
+        out.extend(self._queue)
+        return out
+
     # Called by the engine -------------------------------------------------
     def _enqueue(self, task: "SimTask") -> None:
         self._queue.append(task)
@@ -66,6 +76,19 @@ class FifoResource:
         assert task is not None
         self.busy_time += task.duration
         self.served += 1
+        self._busy = None
+        self._dispatch()
+
+    # Called by SimEngine.abort -------------------------------------------
+    def _remove(self, task: "SimTask") -> None:
+        """Drop a queued (not yet in-service) task."""
+        self._queue.remove(task)
+
+    def _abort_service(self, task: "SimTask") -> None:
+        """Cancel the in-service task; partial service counts as busy time."""
+        assert self._busy is task
+        if task.start_time is not None:
+            self.busy_time += max(self.engine.now - task.start_time, 0.0)
         self._busy = None
         self._dispatch()
 

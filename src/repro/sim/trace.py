@@ -12,7 +12,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional
 
-__all__ = ["TraceInterval", "Trace"]
+__all__ = ["TraceInterval", "Trace", "FAULT_CATEGORY", "RECOVERY_CATEGORY"]
+
+#: Category for injected faults and work lost to them (device failures,
+#: transient slowdown windows, link outages, aborted partial executions).
+FAULT_CATEGORY = "fault"
+#: Category for recovery actions (command replays, queue remaps, backoff).
+RECOVERY_CATEGORY = "recovery"
 
 
 @dataclass(frozen=True)

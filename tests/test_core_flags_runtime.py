@@ -70,10 +70,22 @@ def test_config_with_():
 def test_config_from_env(monkeypatch):
     monkeypatch.setenv(ITERATIVE_FREQ_ENV, "5")
     assert SchedulerConfig.from_env().iterative_refresh == 5
-    monkeypatch.setenv(ITERATIVE_FREQ_ENV, "junk")
-    assert SchedulerConfig.from_env().iterative_refresh == 0
     monkeypatch.setenv(ITERATIVE_FREQ_ENV, "-3")
     assert SchedulerConfig.from_env().iterative_refresh == 0
+
+
+def test_config_from_env_warns_on_invalid(monkeypatch):
+    """A typo'd MULTICL_ITERATIVE_FREQUENCY must not be silently ignored."""
+    monkeypatch.setenv(ITERATIVE_FREQ_ENV, "junk")
+    with pytest.warns(RuntimeWarning, match=ITERATIVE_FREQ_ENV):
+        cfg = SchedulerConfig.from_env()
+    assert cfg.iterative_refresh == 0
+
+
+def test_config_from_env_valid_value_does_not_warn(monkeypatch, recwarn):
+    monkeypatch.setenv(ITERATIVE_FREQ_ENV, "7")
+    assert SchedulerConfig.from_env().iterative_refresh == 7
+    assert not [w for w in recwarn.list if issubclass(w.category, RuntimeWarning)]
 
 
 def test_config_property_type_checked(profile_dir):

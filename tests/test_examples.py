@@ -12,6 +12,7 @@ from pathlib import Path
 import pytest
 
 EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+SRC = Path(__file__).resolve().parent.parent / "src"
 
 #: script name -> substring its output must contain
 EXPECTED = {
@@ -25,6 +26,7 @@ EXPECTED = {
     "trace_and_fission.py": "chrome://tracing",
     "cluster_scheduling.py": "REMOTE",
     "double_buffering.py": "% faster",
+    "fault_tolerance.py": "run completed on degraded pool, numerics exactly-once: True",
 }
 
 
@@ -39,6 +41,10 @@ def test_every_example_is_covered():
 def test_example_runs(script, tmp_path, profile_dir):
     env = dict(os.environ)
     env["MULTICL_PROFILE_CACHE"] = profile_dir
+    # The examples import `repro` from the source tree; the subprocess does
+    # not inherit pytest's sys.path, so put src/ on PYTHONPATH explicitly.
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = str(SRC) + (os.pathsep + existing if existing else "")
     result = subprocess.run(
         [sys.executable, str(EXAMPLES / script)],
         capture_output=True,
