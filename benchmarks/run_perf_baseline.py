@@ -1,0 +1,252 @@
+#!/usr/bin/env python
+"""Tracked performance baseline for the library's hot paths.
+
+Runs the same workloads as ``bench_library_perf.py`` without pytest and
+writes ``BENCH_library_perf.json`` at the repo root: per-bench median/min
+wall time plus a *simulation-correctness checksum* (a deterministic value
+computed from virtual-clock results, identical on every machine).  The
+committed JSON serves two purposes:
+
+* a perf reference — CI re-runs the benches (``--quick``) and fails when
+  any bench regresses more than ``--factor`` (default 3x) against the
+  committed medians, a deliberately loose bound that survives noisy shared
+  runners while still catching accidental big-O regressions;
+* a correctness pin — checksums must match exactly-ish (relative 1e-9), so
+  a "speedup" that changes simulation results fails loudly.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_perf_baseline.py            # write baseline
+    PYTHONPATH=src python benchmarks/run_perf_baseline.py --quick \
+        --check BENCH_library_perf.json                              # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import platform
+import statistics
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core.device_mapper import optimal_mapping  # noqa: E402
+from repro.sim.engine import SimEngine  # noqa: E402
+from repro.sim.resources import FifoResource  # noqa: E402
+from repro.sim.trace import Trace  # noqa: E402
+from repro.workloads.npb import numerics  # noqa: E402
+
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_library_perf.json"
+
+
+# ---------------------------------------------------------------------------
+# Bench cases: zero-arg callables returning a deterministic checksum.
+# ---------------------------------------------------------------------------
+
+def bench_engine_event_throughput() -> float:
+    engine = SimEngine()
+    resources = [FifoResource(engine, f"r{i}") for i in range(4)]
+    for i in range(10_000):
+        engine.task(f"t{i}", 1e-6, resource=resources[i % 4])
+    engine.run_until_idle()
+    return engine.now
+
+
+def bench_mapper_solve_8x4() -> float:
+    queues = [f"q{i}" for i in range(8)]
+    devices = ["cpu", "gpu0", "gpu1", "gpu2"]
+    cost = {
+        q: {d: 1.0 + ((i * 7 + j * 3) % 5) * 0.37 for j, d in enumerate(devices)}
+        for i, q in enumerate(queues)
+    }
+    result = optimal_mapping(queues, devices, cost)
+    return result.makespan
+
+
+def bench_mapper_solve_32x8() -> float:
+    queues = [f"q{i}" for i in range(32)]
+    devices = [f"d{j}" for j in range(8)]
+    cost = {
+        q: {d: 1.0 + ((i * 13 + j * 5) % 7) * 0.29 for j, d in enumerate(devices)}
+        for i, q in enumerate(queues)
+    }
+    result = optimal_mapping(queues, devices, cost)
+    return result.makespan
+
+
+def bench_trace_query() -> float:
+    resources = [f"dev:{i}" for i in range(8)]
+    categories = ("kernel", "transfer", "migration")
+    trace = Trace()
+    t = 0.0
+    for i in range(24_000):
+        trace.record(resources[i % 8], f"t{i}", categories[i % 3], t, t + 1e-6)
+        t += 5e-7
+    total = 0.0
+    for c in categories:
+        total += trace.total_time(category=c)
+        total += len(trace.filter(category=c)) + trace.count(category=c)
+    for r in resources:
+        total += trace.total_time(resource=r)
+    total += sum(trace.by_resource(category="kernel").values())
+    total += sum(trace.counts_by_resource().values())
+    return total
+
+
+_EPOCH_PROFILE_DIR = None
+
+
+def bench_full_scheduled_epoch() -> float:
+    from repro.core.runtime import MultiCL
+    from repro.ocl.enums import ContextScheduler, SchedFlag
+
+    global _EPOCH_PROFILE_DIR
+    if _EPOCH_PROFILE_DIR is None:
+        # One shared on-disk profile cache across repeats, as in real use:
+        # the first run pays static profiling, the rest are pure epoch cost.
+        _EPOCH_PROFILE_DIR = tempfile.mkdtemp(prefix="perf-baseline-profile-")
+    src = (
+        "// @multicl flops_per_item=100 bytes_per_item=16 writes=1\n"
+        "__kernel void k(__global float* a, __global float* b, int n) { }"
+    )
+    mcl = MultiCL(policy=ContextScheduler.AUTO_FIT, profile_dir=_EPOCH_PROFILE_DIR)
+    prog = mcl.context.create_program(src).build()
+    n = 1 << 16
+    queues = []
+    for _ in range(4):
+        kern = prog.create_kernel("k")
+        a = mcl.context.create_buffer(4 * n)
+        b = mcl.context.create_buffer(4 * n)
+        kern.set_arg(0, a)
+        kern.set_arg(1, b)
+        kern.set_arg(2, n)
+        q = mcl.queue(flags=SchedFlag.SCHED_AUTO_DYNAMIC | SchedFlag.SCHED_KERNEL_EPOCH)
+        for _ in range(8):
+            q.enqueue_nd_range_kernel(kern, (n,), (64,))
+        queues.append(q)
+    for q in queues:
+        q.finish()
+    return mcl.now
+
+
+def bench_vectorised_lcg() -> float:
+    uniforms, seed = numerics.vranlc_fast(1 << 18, 271828183.0)
+    return float(uniforms[:64].sum()) + seed / 2.0**46
+
+
+BENCHES = {
+    "engine_event_throughput": bench_engine_event_throughput,
+    "mapper_solve_8x4": bench_mapper_solve_8x4,
+    "mapper_solve_32x8": bench_mapper_solve_32x8,
+    "trace_query": bench_trace_query,
+    "full_scheduled_epoch": bench_full_scheduled_epoch,
+    "vectorised_lcg": bench_vectorised_lcg,
+}
+
+
+# ---------------------------------------------------------------------------
+# Harness
+# ---------------------------------------------------------------------------
+
+def measure(fn, repeats: int, warmup: int):
+    for _ in range(warmup):
+        checksum = fn()
+    times = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        checksum = fn()
+        times.append(time.perf_counter() - t0)
+    return {
+        "median_s": statistics.median(times),
+        "min_s": min(times),
+        "repeats": repeats,
+        "checksum": checksum,
+    }
+
+
+def run_all(repeats: int, warmup: int) -> dict:
+    benches = {}
+    for name, fn in BENCHES.items():
+        benches[name] = measure(fn, repeats, warmup)
+        print(
+            f"{name:28s} median {benches[name]['median_s'] * 1e3:9.3f} ms  "
+            f"min {benches[name]['min_s'] * 1e3:9.3f} ms",
+            flush=True,
+        )
+    return {
+        "schema": 1,
+        "note": (
+            "Library hot-path perf baseline; regenerate with "
+            "`PYTHONPATH=src python benchmarks/run_perf_baseline.py`. "
+            "Checksums are deterministic simulation results; times are "
+            "machine-dependent medians."
+        ),
+        "python": platform.python_version(),
+        "benches": benches,
+    }
+
+
+def check_against(results: dict, baseline_path: Path, factor: float) -> int:
+    baseline = json.loads(baseline_path.read_text())
+    failures = []
+    for name, ref in baseline.get("benches", {}).items():
+        got = results["benches"].get(name)
+        if got is None:
+            failures.append(f"{name}: missing from this run")
+            continue
+        if not math.isclose(got["checksum"], ref["checksum"], rel_tol=1e-9):
+            failures.append(
+                f"{name}: checksum {got['checksum']!r} != baseline "
+                f"{ref['checksum']!r} (simulation behaviour changed)"
+            )
+        if got["median_s"] > factor * ref["median_s"]:
+            failures.append(
+                f"{name}: median {got['median_s'] * 1e3:.2f} ms exceeds "
+                f"{factor}x baseline {ref['median_s'] * 1e3:.2f} ms"
+            )
+    if failures:
+        print("PERF CHECK FAILED:", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        return 1
+    print(f"perf check OK against {baseline_path} (factor {factor}x)")
+    return 0
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--quick", action="store_true",
+                    help="fewer repeats (CI smoke; noisier medians)")
+    ap.add_argument("--output", type=Path, default=None,
+                    help=f"write results JSON here (default {DEFAULT_OUTPUT})")
+    ap.add_argument("--check", type=Path, default=None, metavar="BASELINE",
+                    help="compare against a committed baseline instead of "
+                         "overwriting it; exit 1 on regression")
+    ap.add_argument("--factor", type=float, default=3.0,
+                    help="allowed slowdown factor for --check (default 3.0)")
+    args = ap.parse_args(argv)
+
+    repeats, warmup = (5, 1) if args.quick else (15, 3)
+    results = run_all(repeats, warmup)
+
+    if args.check is not None:
+        out = args.output
+        if out is not None:
+            out.write_text(json.dumps(results, indent=1, sort_keys=True) + "\n")
+        return check_against(results, args.check, args.factor)
+
+    out = args.output if args.output is not None else DEFAULT_OUTPUT
+    out.write_text(json.dumps(results, indent=1, sort_keys=True) + "\n")
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

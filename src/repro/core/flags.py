@@ -25,6 +25,9 @@ from repro.ocl.enums import SchedFlag
 
 __all__ = ["ScheduleOptions", "SchedulerConfig", "CONFIG_PROPERTY_KEY"]
 
+#: SchedFlag value -> the (frozen) options instance it denotes.
+_OPTIONS_MEMO: dict = {}
+
 #: Key under which a :class:`SchedulerConfig` may be passed in the context
 #: properties dict (alongside CL_CONTEXT_SCHEDULER).
 CONFIG_PROPERTY_KEY = "multicl.config"
@@ -101,7 +104,14 @@ class ScheduleOptions:
 
     @staticmethod
     def from_flags(flags: SchedFlag) -> "ScheduleOptions":
-        return ScheduleOptions(
+        # Memoised per flag value: the scheduler derives options for every
+        # queue on every sync pass, and ScheduleOptions is frozen so the
+        # shared instance is safe.
+        key = flags.value
+        cached = _OPTIONS_MEMO.get(key)
+        if cached is not None:
+            return cached
+        options = ScheduleOptions(
             auto=flags.is_auto,
             dynamic=flags.is_dynamic,
             epoch_trigger=bool(flags & SchedFlag.SCHED_KERNEL_EPOCH),
@@ -111,6 +121,8 @@ class ScheduleOptions:
             memory_bound=bool(flags & SchedFlag.SCHED_MEMORY_BOUND),
             io_bound=bool(flags & SchedFlag.SCHED_IO_BOUND),
         )
+        _OPTIONS_MEMO[key] = options
+        return options
 
     @property
     def wants_minikernel(self) -> bool:

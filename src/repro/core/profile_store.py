@@ -38,6 +38,12 @@ __all__ = [
 #: Environment variable overriding the profile cache directory.
 PROFILE_CACHE_ENV = "MULTICL_PROFILE_CACHE"
 
+#: (path, mtime_ns, size) -> parsed JSON payload of the last profile read.
+_read_memo: Dict[Any, Dict[str, Any]] = {}
+
+#: Recently fingerprinted (spec, digest) pairs, matched by equality.
+_fp_memo: list = []
+
 
 def default_cache_dir() -> Path:
     """Resolve the cache directory (env var, else ``~/.cache/multicl``)."""
@@ -48,9 +54,29 @@ def default_cache_dir() -> Path:
 
 
 def node_fingerprint(spec: NodeSpec) -> str:
-    """Stable hash of everything scheduling-relevant about the node."""
+    """Stable hash of everything scheduling-relevant about the node.
+
+    Memoised on the (frozen, hence immutable) spec object: runtimes are
+    frequently constructed against the same node spec, and serialising the
+    full spec through ``dataclasses.asdict`` + json on every construction
+    dominated runtime startup.
+    """
+    cached = getattr(spec, "_fingerprint_memo", None)
+    if cached is not None:
+        return cached
+    # Equality fallback: distinct-but-equal spec instances (each runtime
+    # construction may build its own) share the digest without re-serialising.
+    for known, digest in _fp_memo:
+        if known == spec:
+            object.__setattr__(spec, "_fingerprint_memo", digest)
+            return digest
     payload = json.dumps(_spec_to_jsonable(spec), sort_keys=True)
-    return hashlib.sha256(payload.encode()).hexdigest()[:16]
+    digest = hashlib.sha256(payload.encode()).hexdigest()[:16]
+    object.__setattr__(spec, "_fingerprint_memo", digest)
+    _fp_memo.append((spec, digest))
+    if len(_fp_memo) > 8:
+        del _fp_memo[0]
+    return digest
 
 
 def _spec_to_jsonable(spec: NodeSpec) -> Dict[str, Any]:
@@ -79,13 +105,22 @@ def load_profile_dict(
     the next save), matching the robustness a production runtime needs.
     """
     path = cache_path(spec, cache_dir)
-    if not path.exists():
-        return None
     try:
-        with path.open("r") as fh:
-            data = json.load(fh)
-    except (json.JSONDecodeError, OSError):
+        stat = path.stat()
+    except OSError:
         return None
+    # In-process read cache keyed by (path, mtime, size): repeated runtime
+    # constructions against an unchanged profile file skip the JSON parse.
+    memo_key = (str(path), stat.st_mtime_ns, stat.st_size)
+    data = _read_memo.get(memo_key)
+    if data is None:
+        try:
+            with path.open("r") as fh:
+                data = json.load(fh)
+        except (json.JSONDecodeError, OSError):
+            return None
+        _read_memo.clear()  # keep at most one file's worth of memo
+        _read_memo[memo_key] = data
     if data.get("fingerprint") != node_fingerprint(spec):
         return None
     return data

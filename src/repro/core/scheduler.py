@@ -51,7 +51,10 @@ def _snucl_device_order(context: "Context") -> List[str]:
     node = context.platform.node
     rank = {DeviceKind.ACCELERATOR: 0, DeviceKind.GPU: 0, DeviceKind.CPU: 1}
     names = list(context.active_device_names)
-    return sorted(names, key=lambda n: (rank[node.device(n).spec.kind], names.index(n)))
+    # Stable sort on kind rank alone preserves platform order within each
+    # rank (the seed's names.index(n) tie-break was an accidental O(n^2)).
+    pos = {n: i for i, n in enumerate(names)}
+    return sorted(names, key=lambda n: (rank[node.device(n).spec.kind], pos[n]))
 
 
 class MultiCLSchedulerBase(SchedulerBase):
@@ -156,7 +159,8 @@ class AutoFitScheduler(MultiCLSchedulerBase):
         static_qs = [
             q for q in pool if ScheduleOptions.from_flags(q.sched_flags).is_static_mode
         ]
-        dynamic_qs = [q for q in pool if q not in static_qs]
+        static_ids = {id(q) for q in static_qs}
+        dynamic_qs = [q for q in pool if id(q) not in static_ids]
         if static_qs:
             self._map_static(static_qs)
         if dynamic_qs:
@@ -171,6 +175,11 @@ class AutoFitScheduler(MultiCLSchedulerBase):
         profile = self.context.platform.device_profile
         devices = self._active_devices()
         loads: Dict[str, float] = {d: 0.0 for d in devices}
+        # Tie-break on position within the *active* (degraded) pool, not the
+        # full context pool: indexing the full pool made tie-breaks depend
+        # on where failed devices used to sit.  Hoisted out of the min key —
+        # the repeated list.index() calls were O(D) each.
+        pos = {d: i for i, d in enumerate(devices)}
         for q in queues:
             options = ScheduleOptions.from_flags(q.sched_flags)
             scores = self._hint_scores(options, profile, devices)
@@ -178,7 +187,7 @@ class AutoFitScheduler(MultiCLSchedulerBase):
             # this queue earliest.
             best = min(
                 scores,
-                key=lambda d: (loads[d] + 1.0 / scores[d], self.context.device_names.index(d)),
+                key=lambda d: (loads[d] + 1.0 / scores[d], pos[d]),
             )
             loads[best] += 1.0 / scores[best]
             q.rebind(best)
@@ -208,13 +217,17 @@ class AutoFitScheduler(MultiCLSchedulerBase):
         devices = self._active_devices()
         cost: Dict[str, Dict[str, float]] = {}
         for q in queues:
+            # One epoch-buffer walk per queue for the whole sync pass; the
+            # seed recomputed it for every (queue, device) pair through both
+            # _fits and _transfer_estimate.
+            bufs = self._epoch_buffers(q)
             row: Dict[str, float] = {}
             for d in devices:
-                if not self._fits(q, d):
+                if not self._fits(q, d, bufs):
                     row[d] = math.inf
                     continue
                 seconds = epochs[q.name].seconds.get(d, math.inf)
-                row[d] = seconds + self._transfer_estimate(q, d, profile)
+                row[d] = seconds + self._transfer_estimate(q, d, profile, bufs)
             cost[q.name] = row
         preferred = {q.name: q.device for q in queues}
         result = optimal_mapping([q.name for q in queues], devices, cost, preferred)
@@ -239,23 +252,37 @@ class AutoFitScheduler(MultiCLSchedulerBase):
                     out.append(v)
         return out
 
-    def _fits(self, q: "CommandQueue", device: str) -> bool:
+    def _fits(
+        self,
+        q: "CommandQueue",
+        device: str,
+        bufs: Optional[List[Buffer]] = None,
+    ) -> bool:
         spec = self.context.platform.node.device(device).spec
-        resident = sum(
-            b.nbytes for b in self.context.buffers if b.resident_on(device)
-        )
+        # O(1): the context maintains per-device resident-byte counters on
+        # every buffer validity transition (the seed summed over *all*
+        # context buffers here, for every (queue, device) pair).
+        resident = self.context.resident_bytes(device)
+        if bufs is None:
+            bufs = self._epoch_buffers(q)
         incoming = sum(
-            b.nbytes
-            for b in self._epoch_buffers(q)
-            if not b.resident_on(device)
+            b.nbytes for b in bufs if not b.resident_on(device)
         )
         return resident + incoming <= spec.mem_size_bytes
 
-    def _transfer_estimate(self, q: "CommandQueue", device: str, profile) -> float:
+    def _transfer_estimate(
+        self,
+        q: "CommandQueue",
+        device: str,
+        profile,
+        bufs: Optional[List[Buffer]] = None,
+    ) -> float:
         """Estimated data movement to run this epoch on ``device``, derived
         from the *measured* device profiles (not the ground-truth model)."""
         total = 0.0
-        for buf in self._epoch_buffers(q):
+        if bufs is None:
+            bufs = self._epoch_buffers(q)
+        for buf in bufs:
             if not buf.initialized or buf.is_valid_on(device):
                 continue
             if buf.is_valid_on(HOST):

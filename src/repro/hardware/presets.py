@@ -16,6 +16,8 @@ fractions; the reproduction only relies on their *relative* magnitudes.
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 from repro.hardware.specs import DeviceKind, DeviceSpec, LinkSpec, NodeSpec
 
 __all__ = [
@@ -75,6 +77,10 @@ def _named(spec: DeviceSpec, name: str, socket: int) -> DeviceSpec:
     return replace(spec, name=name, socket=socket)
 
 
+# The preset factories are cached: NodeSpec is frozen, so every runtime can
+# share one instance — which also lets the profile-store fingerprint memo
+# (keyed on the spec object) hit across runtime constructions.
+@lru_cache(maxsize=None)
 def aji_cluster15_node() -> NodeSpec:
     """The paper's evaluation node: 1 CPU device + 2 C2050 GPUs.
 
@@ -98,6 +104,7 @@ def aji_cluster15_node() -> NodeSpec:
     )
 
 
+@lru_cache(maxsize=None)
 def symmetric_dual_gpu_node() -> NodeSpec:
     """Two identical GPUs, no CPU device — for unit tests and ablations."""
     gpu0 = _named(TESLA_C2050, "gpu0", socket=0)
@@ -112,6 +119,7 @@ def symmetric_dual_gpu_node() -> NodeSpec:
     )
 
 
+@lru_cache(maxsize=None)
 def cpu_only_node() -> NodeSpec:
     """Single CPU device — degenerate scheduling case for tests."""
     return NodeSpec(

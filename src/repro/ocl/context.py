@@ -54,6 +54,10 @@ class Context:
             self.device_names = tuple(device_names)
         self.properties: Dict[int, Any] = dict(properties or {})
         self.buffers: List[Buffer] = []
+        #: device name -> bytes of buffers currently resident there, kept
+        #: exact by Buffer residency transitions; lets the scheduler's
+        #: memory-fit check run in O(1) instead of scanning all buffers.
+        self._resident_bytes: Dict[str, int] = {}
         self.queues: List[CommandQueue] = []
         self.programs: List[Program] = []
         self.scheduler: Optional[SchedulerBase] = None
@@ -110,6 +114,14 @@ class Context:
     # ------------------------------------------------------------------
     def _register_buffer(self, buffer: Buffer) -> None:
         self.buffers.append(buffer)
+
+    def _note_residency(self, device: str, delta: int) -> None:
+        """A buffer copy appeared on (+nbytes) or left (-nbytes) ``device``."""
+        self._resident_bytes[device] = self._resident_bytes.get(device, 0) + delta
+
+    def resident_bytes(self, device: str) -> int:
+        """Total bytes of context buffers with a valid copy on ``device``."""
+        return self._resident_bytes.get(device, 0)
 
     def _register_queue(self, queue: CommandQueue) -> None:
         self.queues.append(queue)

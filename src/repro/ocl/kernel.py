@@ -49,6 +49,10 @@ _EFF_KEYS = {
 }
 
 
+#: (global_size, local_size) -> validated WorkGroupConfig (frozen, shared).
+_config_memo: Dict[Any, "WorkGroupConfig"] = {}
+
+
 def _prod(xs: Sequence[int]) -> int:
     out = 1
     for x in xs:
@@ -103,7 +107,16 @@ class WorkGroupConfig:
             ls: Tuple[int, ...] = (min(64, gs[0]),) + (1,) * (len(gs) - 1)
         else:
             ls = tuple(int(l) for l in local_size)
-        return WorkGroupConfig(gs, ls)
+        # Memoised: enqueue loops launch the same configuration over and
+        # over, and __post_init__ validation is pure in (gs, ls).
+        cached = _config_memo.get((gs, ls))
+        if cached is not None:
+            return cached
+        config = WorkGroupConfig(gs, ls)
+        if len(_config_memo) > 256:
+            _config_memo.clear()
+        _config_memo[(gs, ls)] = config
+        return config
 
 
 class Kernel:
@@ -118,6 +131,9 @@ class Kernel:
         self.device_configs: Dict[str, WorkGroupConfig] = {}
         self._cost_model: Optional[CostModel] = None
         self.host_fn: Optional[HostFunction] = None
+        #: WorkGroupConfig -> KernelCost for the annotation cost model
+        #: (pure in config; KernelCost is frozen, so sharing is safe).
+        self._annotation_cost_memo: Dict[WorkGroupConfig, KernelCost] = {}
 
     # ------------------------------------------------------------------
     # Standard OpenCL surface
@@ -144,6 +160,10 @@ class Kernel:
         self.args[index] = value
 
     def check_args_set(self) -> None:
+        # set_arg validates 0 <= index < len(info.args), so a full dict
+        # means every argument is set — the common (per-enqueue) case.
+        if len(self.args) == len(self.info.args):
+            return
         missing = [
             i for i in range(len(self.info.args)) if i not in self.args
         ]
@@ -213,6 +233,9 @@ class Kernel:
         return self._annotation_cost(config)
 
     def _annotation_cost(self, config: WorkGroupConfig) -> KernelCost:
+        cached = self._annotation_cost_memo.get(config)
+        if cached is not None:
+            return cached
         a = self.info.annotations
         if "flops_per_item" not in a and "bytes_per_item" not in a:
             raise InvalidValue(
@@ -223,7 +246,7 @@ class Kernel:
         eff = {
             kind: a[key] for key, kind in _EFF_KEYS.items() if key in a
         }
-        return KernelCost(
+        cost = KernelCost(
             flops=a.get("flops_per_item", 0.0) * items,
             bytes=a.get("bytes_per_item", 0.0) * items,
             work_items=items,
@@ -232,6 +255,8 @@ class Kernel:
             irregularity=a.get("irregularity", 0.0),
             efficiency=eff,
         )
+        self._annotation_cost_memo[config] = cost
+        return cost
 
     def run_host_function(self) -> None:
         """Execute the functional payload (if any) against current args."""

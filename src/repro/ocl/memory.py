@@ -35,6 +35,91 @@ HOST = "host"
 _ids = itertools.count(1)
 
 
+class _ResidencySet(set):
+    """A buffer's ``valid_on`` set, observing its own mutations.
+
+    Every holder added to / removed from the set is reported to the owning
+    context, which maintains per-device resident-byte counters so the
+    scheduler's memory-fit check costs O(1) per (queue, device) pair instead
+    of summing over every buffer in the context.  All ``set`` mutators that
+    appear in the codebase (and the obvious rest) are intercepted; wholesale
+    reassignment of ``Buffer.valid_on`` goes through the property setter.
+    """
+
+    __slots__ = ("_buffer",)
+
+    def __init__(self, buffer: "Buffer", holders=()) -> None:
+        super().__init__()
+        self._buffer = buffer
+        for h in holders:
+            self.add(h)
+
+    def add(self, holder: str) -> None:
+        if holder not in self:
+            set.add(self, holder)
+            self._buffer._residency_changed(holder, +1)
+
+    def discard(self, holder: str) -> None:
+        if holder in self:
+            set.discard(self, holder)
+            self._buffer._residency_changed(holder, -1)
+
+    def remove(self, holder: str) -> None:
+        if holder not in self:
+            raise KeyError(holder)
+        self.discard(holder)
+
+    def pop(self) -> str:
+        holder = set.pop(self)
+        self._buffer._residency_changed(holder, -1)
+        return holder
+
+    def clear(self) -> None:
+        for holder in tuple(self):
+            self.discard(holder)
+
+    def update(self, *others) -> None:
+        for other in others:
+            for holder in other:
+                self.add(holder)
+
+    def difference_update(self, *others) -> None:
+        for other in others:
+            for holder in tuple(other):
+                self.discard(holder)
+
+    def intersection_update(self, *others) -> None:
+        keep = set(self)
+        for other in others:
+            keep &= set(other)
+        for holder in tuple(self):
+            if holder not in keep:
+                self.discard(holder)
+
+    def symmetric_difference_update(self, other) -> None:
+        for holder in tuple(other):
+            if holder in self:
+                self.discard(holder)
+            else:
+                self.add(holder)
+
+    def __ior__(self, other):
+        self.update(other)
+        return self
+
+    def __isub__(self, other):
+        self.difference_update(other)
+        return self
+
+    def __iand__(self, other):
+        self.intersection_update(other)
+        return self
+
+    def __ixor__(self, other):
+        self.symmetric_difference_update(other)
+        return self
+
+
 class Buffer:
     """A context-scoped memory object.
 
@@ -71,7 +156,7 @@ class Buffer:
         self.flags = flags
         self.array = host_array
         self.name = name or f"buf{next(_ids)}"
-        self.valid_on: Set[str] = set()
+        self._valid_on: _ResidencySet = _ResidencySet(self)
         #: parent buffer when this is a sub-buffer (clCreateSubBuffer)
         self.parent: Optional["Buffer"] = None
         #: byte offset into the parent's data store
@@ -79,8 +164,33 @@ class Buffer:
         if flags & MemFlag.COPY_HOST_PTR:
             if host_array is None:
                 raise InvalidValue("COPY_HOST_PTR requires a host_array")
-            self.valid_on.add(HOST)
+            self._valid_on.add(HOST)
         context._register_buffer(self)
+
+    @property
+    def valid_on(self) -> Set[str]:
+        """Holders ("host" or device names) with a valid copy.
+
+        The set observes its own mutations to keep the context's per-device
+        resident-byte counters exact; assigning a plain set to this property
+        re-accounts the difference.
+        """
+        return self._valid_on
+
+    @valid_on.setter
+    def valid_on(self, holders) -> None:
+        current = self._valid_on
+        target = set(holders)
+        for holder in tuple(current):
+            if holder not in target:
+                current.discard(holder)
+        for holder in target:
+            current.add(holder)
+
+    def _residency_changed(self, holder: str, sign: int) -> None:
+        """Hook from :class:`_ResidencySet`: a copy appeared/vanished."""
+        if holder != HOST:
+            self.context._note_residency(holder, sign * self.nbytes)
 
     # ------------------------------------------------------------------
     # Sub-buffers (clCreateSubBuffer)

@@ -54,6 +54,10 @@ __all__ = ["Command", "CommandQueue"]
 
 _queue_ids = itertools.count(0)
 
+#: Pre-extracted flag masks for the enqueue fast path (see auto_active).
+_AUTO_MASK = (SchedFlag.SCHED_AUTO_STATIC | SchedFlag.SCHED_AUTO_DYNAMIC).value
+_EXPLICIT_REGION_MASK = SchedFlag.SCHED_EXPLICIT_REGION.value
+
 
 @dataclass
 class Command:
@@ -149,9 +153,13 @@ class CommandQueue:
     @property
     def auto_active(self) -> bool:
         """Whether commands enqueued *now* should be deferred."""
-        if not self.sched_flags.is_auto:
+        # Raw int bit tests: this runs on every enqueue, and the Flag-enum
+        # operator protocol (__and__ constructing enum members) is an order
+        # of magnitude slower than the mask checks.
+        flags = self.sched_flags.value
+        if not flags & _AUTO_MASK:
             return False
-        if self.sched_flags & SchedFlag.SCHED_EXPLICIT_REGION:
+        if flags & _EXPLICIT_REGION_MASK:
             return self.region_active
         return True
 
@@ -364,7 +372,10 @@ class CommandQueue:
         elif self._tail is not None:
             deps.append(self._tail)
 
-        if cmd.kind is CommandKind.WRITE_BUFFER:
+        if cmd.kind is CommandKind.NDRANGE_KERNEL:
+            # First branch: kernels dominate every scheduled workload.
+            task = self._issue_kernel(cmd, deps)
+        elif cmd.kind is CommandKind.WRITE_BUFFER:
             assert cmd.buffer is not None
             self._check_capacity(cmd.buffer, extra=(cmd.buffer,))
             task = node.submit_h2d(
@@ -405,8 +416,6 @@ class CommandQueue:
             if cmd.buffer.array is not None and cmd.src_buffer.array is not None:
                 cmd.buffer.array[...] = cmd.src_buffer.array
             cmd.buffer.mark_exclusive(self.device)
-        elif cmd.kind is CommandKind.NDRANGE_KERNEL:
-            task = self._issue_kernel(cmd, deps)
         elif cmd.kind is CommandKind.MARKER:
             task = engine.task(
                 name=f"marker@{self.name}", duration=0.0, deps=deps,
@@ -514,11 +523,16 @@ class CommandQueue:
     def _check_capacity(self, *incoming: Buffer, extra: Sequence[Buffer]) -> None:
         """Device-memory capacity check before making buffers resident."""
         spec = self.context.platform.node.device(self.device).spec
-        resident = {
-            b for b in self.context.buffers if b.resident_on(self.device)
-        }
-        resident.update(b for b in extra)
-        total = sum(b.nbytes for b in resident)
+        # O(1) via the context's per-device resident-byte counters plus the
+        # not-yet-resident newcomers (deduplicated: a kernel may pass the
+        # same buffer for several arguments).
+        total = self.context.resident_bytes(self.device)
+        seen = set()
+        for b in extra:
+            if id(b) in seen or b.resident_on(self.device):
+                continue
+            seen.add(id(b))
+            total += b.nbytes
         if total > spec.mem_size_bytes:
             raise MemAllocationFailure(
                 f"device {self.device!r}: {total} bytes needed, "

@@ -151,8 +151,25 @@ def _annotations_before(src: str, kernel_start: int) -> Dict[str, str]:
     return out
 
 
+#: source string -> parsed kernel infos; program sources are interned by
+#: construction (benchmark loops and multi-runtime apps rebuild the same
+#: literal), so a small memo removes the regex walk from the hot path.
+_parse_memo: Dict[str, Tuple[KernelSourceInfo, ...]] = {}
+
+
 def parse_program_source(src: str) -> List[KernelSourceInfo]:
     """Parse every ``__kernel`` function in a program source string."""
+    cached = _parse_memo.get(src)
+    if cached is not None:
+        return list(cached)
+    infos = _parse_program_source_uncached(src)
+    if len(_parse_memo) > 64:
+        _parse_memo.clear()
+    _parse_memo[src] = tuple(infos)
+    return infos
+
+
+def _parse_program_source_uncached(src: str) -> List[KernelSourceInfo]:
     infos: List[KernelSourceInfo] = []
     for m in _KERNEL_RE.finditer(src):
         open_paren = src.index("(", m.end() - 1)

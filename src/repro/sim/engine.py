@@ -19,9 +19,12 @@ import itertools
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.sim.clock import SimClock
-from repro.sim.trace import Trace
+from repro.sim.trace import Trace, TraceInterval
 
 __all__ = ["SimTask", "SimEngine", "SimError"]
+
+_heappush = heapq.heappush
+_heappop = heapq.heappop
 
 
 class SimError(RuntimeError):
@@ -30,6 +33,8 @@ class SimError(RuntimeError):
 
 #: Task lifecycle states.
 _PENDING = "pending"  # created, not yet submitted
+#: Shared metadata dict for tasks created without meta (never mutated).
+_EMPTY_META: Dict[str, Any] = {}
 _WAITING = "waiting"  # submitted, waiting on dependencies
 _READY = "ready"  # dependencies met, queued on its resource
 _RUNNING = "running"  # in service
@@ -89,15 +94,19 @@ class SimTask:
         self.name = name
         self.duration = float(duration)
         self.resource = resource
-        self.deps: List[SimTask] = list(deps or [])
+        self.deps: List[SimTask] = list(deps) if deps else []
         self.category = category
-        self.meta: Dict[str, Any] = dict(meta or {})
+        # Shared sentinel for the metadata-free common case; treated as
+        # read-only (callers wanting task-local metadata pass a dict).
+        self.meta: Dict[str, Any] = dict(meta) if meta else _EMPTY_META
         self.state = _PENDING
         self.start_time: Optional[float] = None
         self.end_time: Optional[float] = None
         self._unmet = 0
-        self._dependents: List[SimTask] = []
-        self._callbacks: List[Callable[["SimTask"], None]] = []
+        # Lazily allocated (None == empty): most tasks never gain waiters
+        # or completion callbacks, so skip two list allocations per task.
+        self._dependents: Optional[List[SimTask]] = None
+        self._callbacks: Optional[List[Callable[["SimTask"], None]]] = None
         #: When a fault aborts this task and the owning command is replayed,
         #: points at the replacement incarnation (waiters follow the chain).
         self.replacement: Optional["SimTask"] = None
@@ -120,6 +129,8 @@ class SimTask:
         """
         if self.done:
             fn(self)
+        elif self._callbacks is None:
+            self._callbacks = [fn]
         else:
             self._callbacks.append(fn)
 
@@ -131,14 +142,28 @@ class SimTask:
 
 
 class SimEngine:
-    """Event heap + virtual clock + task dependency resolution."""
+    """Event heap + virtual clock + task dependency resolution.
+
+    Event-heap entries are ``(time, seq, fn, arg)`` tuples; internal task
+    completions carry the task itself as ``arg`` (calling ``fn(arg)``)
+    instead of closing a fresh lambda over it, which keeps the per-task
+    dispatch cost to one tuple allocation.  ``arg is None`` marks a plain
+    user callback registered through :meth:`schedule_at`.
+    """
 
     def __init__(self, trace: Optional[Trace] = None) -> None:
         self.clock = SimClock()
         self.trace = trace if trace is not None else Trace()
-        self._heap: List[Tuple[float, int, Callable[[], None]]] = []
+        self._heap: List[Tuple[float, int, Callable[..., None], Optional[SimTask]]] = []
         self._seq = itertools.count()
         self._open_tasks = 0
+        # Depth guard for the zero-duration inline-finish fast path: long
+        # chains of zero-cost host tasks fall back to the heap instead of
+        # recursing without bound.
+        self._inline_depth = 0
+        # Cached bound method: completion events all dispatch here, and
+        # binding it once avoids a method-object allocation per task.
+        self._finish_cb = self._finish
 
     # ------------------------------------------------------------------
     # Low-level event scheduling
@@ -150,15 +175,15 @@ class SimEngine:
 
     def schedule_at(self, time: float, fn: Callable[[], None]) -> None:
         """Run ``fn`` at absolute simulated ``time`` (>= now)."""
-        if time < self.now:
+        if time < self.clock._now:
             raise SimError(f"cannot schedule event in the past ({time} < {self.now})")
-        heapq.heappush(self._heap, (time, next(self._seq), fn))
+        heapq.heappush(self._heap, (float(time), next(self._seq), fn, None))
 
     def schedule_after(self, delay: float, fn: Callable[[], None]) -> None:
         """Run ``fn`` after ``delay`` simulated seconds."""
         if delay < 0.0:
             raise SimError(f"negative delay {delay!r}")
-        self.schedule_at(self.now + delay, fn)
+        self.schedule_at(self.clock._now + delay, fn)
 
     # ------------------------------------------------------------------
     # Task API
@@ -167,8 +192,18 @@ class SimEngine:
         """Submit ``task`` for execution once its dependencies complete."""
         if task.state != _PENDING:
             raise SimError(f"task {task.name!r} submitted twice")
-        task.state = _WAITING
         self._open_tasks += 1
+        if not task.deps:
+            # Fast path: independent task — straight to ready (inlined
+            # _make_ready; this is the per-task common case).
+            task.state = _READY
+            resource = task.resource
+            if resource is None:
+                self._begin(task)
+            else:
+                resource._enqueue(task)
+            return task
+        task.state = _WAITING
         unmet = 0
         for i, dep in enumerate(task.deps):
             # A dependency aborted by fault injection resolves through its
@@ -187,7 +222,10 @@ class SimEngine:
                 )
             # An aborted dep not yet replayed still collects dependents:
             # adopt() transfers them to the replacement when it appears.
-            dep._dependents.append(task)
+            if dep._dependents is None:
+                dep._dependents = [task]
+            else:
+                dep._dependents.append(task)
             unmet += 1
         task._unmet = unmet
         if unmet == 0:
@@ -204,7 +242,18 @@ class SimEngine:
         meta: Optional[Dict[str, Any]] = None,
     ) -> SimTask:
         """Create *and submit* a task in one call."""
-        return self.submit(SimTask(name, duration, resource, deps, category, meta))
+        task = SimTask(name, duration, resource, deps, category, meta)
+        if deps:
+            return self.submit(task)
+        # Inline submit fast path: a freshly created task cannot be a double
+        # submission, and with no deps it goes straight to ready.
+        self._open_tasks += 1
+        task.state = _READY
+        if resource is None:
+            self._begin(task)
+        else:
+            resource._enqueue(task)
+        return task
 
     def _make_ready(self, task: SimTask) -> None:
         task.state = _READY
@@ -216,36 +265,59 @@ class SimEngine:
     def _begin(self, task: SimTask) -> None:
         """Start service for a ready task (resource already acquired)."""
         task.state = _RUNNING
-        task.start_time = self.now
-        end = self.now + task.duration
-        self.schedule_at(end, lambda: self._finish(task))
+        now = self.clock._now
+        task.start_time = now
+        duration = task.duration
+        if duration == 0.0 and task.resource is None and self._inline_depth < 64:
+            # Zero-duration host task: completing it cannot advance the
+            # clock or overtake any pending event's *time*, so finish
+            # inline instead of round-tripping through the heap.
+            self._inline_depth += 1
+            try:
+                self._finish(task)
+            finally:
+                self._inline_depth -= 1
+            return
+        # Internal scheduling: end >= now by construction, so skip the
+        # past-time validation and lambda closure of schedule_at.
+        _heappush(
+            self._heap, (now + duration, next(self._seq), self._finish_cb, task)
+        )
 
     def _finish(self, task: SimTask) -> None:
         if task.state == _ABORTED:
             # Stale completion event of a task cancelled by fault injection.
             return
         task.state = _DONE
-        task.end_time = self.now
+        now = self.clock._now
+        task.end_time = now
         self._open_tasks -= 1
-        resname = task.resource.name if task.resource is not None else "host"
-        self.trace.record(
-            resource=resname,
-            task=task.name,
-            category=task.category,
-            start=task.start_time if task.start_time is not None else self.now,
-            end=self.now,
-            meta=task.meta,
+        resource = task.resource
+        start = task.start_time
+        # Equivalent to self.trace.record(...), with the call layers peeled
+        # off: Trace.record is a bare append by contract (lazy indexing).
+        self.trace._intervals.append(
+            TraceInterval(
+                resource.name if resource is not None else "host",
+                task.name,
+                task.category,
+                start if start is not None else now,
+                now,
+                task.meta,
+            )
         )
-        if task.resource is not None:
-            task.resource._service_done()
-        for dep in task._dependents:
-            dep._unmet -= 1
-            if dep._unmet == 0 and dep.state == _WAITING:
-                self._make_ready(dep)
-        task._dependents = []
-        callbacks, task._callbacks = task._callbacks, []
-        for fn in callbacks:
-            fn(task)
+        if resource is not None:
+            resource._service_done()
+        if task._dependents:
+            for dep in task._dependents:
+                dep._unmet -= 1
+                if dep._unmet == 0 and dep.state == _WAITING:
+                    self._make_ready(dep)
+            task._dependents = None
+        if task._callbacks:
+            callbacks, task._callbacks = task._callbacks, None
+            for fn in callbacks:
+                fn(task)
 
     # ------------------------------------------------------------------
     # Fault support
@@ -284,12 +356,12 @@ class SimEngine:
         self._open_tasks -= 1
         if release_dependents:
             task.released_deps = True
-            for dep in task._dependents:
+            for dep in task._dependents or ():
                 dep._unmet -= 1
                 if dep._unmet == 0 and dep.state == _WAITING:
                     self._make_ready(dep)
-            task._dependents = []
-            task._callbacks = []
+            task._dependents = None
+            task._callbacks = None
         return True
 
     def adopt(self, old: SimTask, new: SimTask) -> None:
@@ -304,17 +376,25 @@ class SimEngine:
         old.replacement = new
         if new.done:
             # Degenerate: replacement already finished — settle waiters now.
-            for dep in old._dependents:
+            for dep in old._dependents or ():
                 dep._unmet -= 1
                 if dep._unmet == 0 and dep.state == _WAITING:
                     self._make_ready(dep)
-            for fn in old._callbacks:
+            for fn in old._callbacks or ():
                 fn(new)
         else:
-            new._dependents.extend(old._dependents)
-            new._callbacks.extend(old._callbacks)
-        old._dependents = []
-        old._callbacks = []
+            if old._dependents:
+                if new._dependents is None:
+                    new._dependents = list(old._dependents)
+                else:
+                    new._dependents.extend(old._dependents)
+            if old._callbacks:
+                if new._callbacks is None:
+                    new._callbacks = list(old._callbacks)
+                else:
+                    new._callbacks.extend(old._callbacks)
+        old._dependents = None
+        old._callbacks = None
 
     # ------------------------------------------------------------------
     # Running
@@ -330,6 +410,9 @@ class SimEngine:
         """
         if task.state == _PENDING:
             raise SimError(f"cannot wait on unsubmitted task {task.name!r}")
+        heap = self._heap
+        pop = heapq.heappop
+        clock = self.clock
         while True:
             if task.state == _ABORTED:
                 if task.replacement is None:
@@ -338,13 +421,20 @@ class SimEngine:
                     )
                 task = task.replacement
                 continue
-            if task.done:
+            if task.state == _DONE:
                 break
-            if not self._heap:
+            if not heap:
                 raise SimError(
                     f"deadlock: waiting on {task.name!r} with an empty event heap"
                 )
-            self._step()
+            time, _, fn, arg = pop(heap)
+            # Heap pop order is non-decreasing in time, so the monotonicity
+            # check in SimClock.advance_to is redundant here.
+            clock._now = time
+            if arg is None:
+                fn()
+            else:
+                fn(arg)
         # The final processed event may have been exactly this task's finish;
         # the clock already sits at task.end_time.
         assert task.end_time is not None
@@ -352,8 +442,16 @@ class SimEngine:
 
     def run_until_idle(self) -> float:
         """Drain all queued events; return the final simulated time."""
-        while self._heap:
-            self._step()
+        heap = self._heap
+        pop = heapq.heappop
+        clock = self.clock
+        while heap:
+            time, _, fn, arg = pop(heap)
+            clock._now = time
+            if arg is None:
+                fn()
+            else:
+                fn(arg)
         if self._open_tasks:
             raise SimError(f"{self._open_tasks} task(s) never completed (cycle?)")
         return self.now
@@ -368,6 +466,9 @@ class SimEngine:
         self.run_until(sleeper)
 
     def _step(self) -> None:
-        time, _, fn = heapq.heappop(self._heap)
+        time, _, fn, arg = heapq.heappop(self._heap)
         self.clock.advance_to(time)
-        fn()
+        if arg is None:
+            fn()
+        else:
+            fn(arg)

@@ -62,6 +62,12 @@ class FifoResource:
 
     # Called by the engine -------------------------------------------------
     def _enqueue(self, task: "SimTask") -> None:
+        if self._busy is None and not self._queue:
+            # Idle server, empty queue: begin service directly instead of
+            # paying a deque append/popleft round-trip per task.
+            self._busy = task
+            self.engine._begin(task)
+            return
         self._queue.append(task)
         self._dispatch()
 
@@ -76,8 +82,13 @@ class FifoResource:
         assert task is not None
         self.busy_time += task.duration
         self.served += 1
-        self._busy = None
-        self._dispatch()
+        # Inline _dispatch: this runs once per served task.
+        if self._queue:
+            nxt = self._queue.popleft()
+            self._busy = nxt
+            self.engine._begin(nxt)
+        else:
+            self._busy = None
 
     # Called by SimEngine.abort -------------------------------------------
     def _remove(self, task: "SimTask") -> None:

@@ -5,15 +5,18 @@ combination" — here that is a testable property: the production solver must
 match the brute-force oracle on every instance.
 """
 
+import itertools
 import math
 
 import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core.device_mapper import (
+    EXACT_LIMIT_ENV,
     MapperError,
     MappingResult,
     brute_force_mapping,
+    greedy_mapping,
     optimal_mapping,
 )
 
@@ -145,6 +148,146 @@ def test_optimal_matches_brute_force(n_queues, n_devices, data):
     # The returned mapping actually achieves the claimed makespan.
     loads = opt.device_loads(cost)
     assert max(loads.values()) == pytest.approx(opt.makespan)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    n_queues=st.integers(min_value=1, max_value=4),
+    n_devices=st.integers(min_value=1, max_value=3),
+    data=st.data(),
+)
+def test_preferred_ties_resolved_minimally(n_queues, n_devices, data):
+    """With ``preferred`` bindings, the result is makespan-optimal AND keeps
+    as many queues on their current device as *any* optimal assignment can
+    (migrations are only paid when the makespan demands it)."""
+    queues = [f"q{i}" for i in range(n_queues)]
+    devices = [f"d{i}" for i in range(n_devices)]
+    # Small integer-valued costs (exact in float) make ties frequent, which
+    # is exactly the regime the tie-break rules exist for.
+    cost = {
+        q: {
+            d: data.draw(
+                st.one_of(
+                    st.integers(min_value=1, max_value=4).map(float),
+                    st.just(math.inf),
+                ),
+                label=f"{q}/{d}",
+            )
+            for d in devices
+        }
+        for q in queues
+    }
+    feasible = all(
+        any(math.isfinite(cost[q][d]) for d in devices) for q in queues
+    )
+    if not feasible:
+        with pytest.raises(MapperError):
+            optimal_mapping(queues, devices, cost)
+        return
+    preferred = {
+        q: data.draw(st.sampled_from(devices), label=f"pref/{q}") for q in queues
+    }
+    res = optimal_mapping(queues, devices, cost, preferred)
+    # Enumerate every optimal assignment to find the fewest migrations any
+    # of them needs.
+    best_makespan = math.inf
+    min_migrations = None
+    for combo in itertools.product(devices, repeat=n_queues):
+        loads = {}
+        if any(not math.isfinite(cost[q][d]) for q, d in zip(queues, combo)):
+            continue
+        for q, d in zip(queues, combo):
+            loads[d] = loads.get(d, 0.0) + cost[q][d]
+        makespan = max(loads.values())
+        migrations = sum(1 for q, d in zip(queues, combo) if preferred[q] != d)
+        if makespan < best_makespan:
+            best_makespan, min_migrations = makespan, migrations
+        elif makespan == best_makespan and migrations < min_migrations:
+            min_migrations = migrations
+    assert res.makespan == pytest.approx(best_makespan)
+    got_migrations = sum(
+        1 for q, d in res.mapping.items() if preferred[q] != d
+    )
+    assert got_migrations == min_migrations
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    n_queues=st.integers(min_value=1, max_value=5),
+    n_devices=st.integers(min_value=1, max_value=3),
+    data=st.data(),
+)
+def test_greedy_fallback_quality_and_determinism(n_queues, n_devices, data):
+    """The large-pool greedy fallback stays within the documented 2x factor
+    of the true optimum and is fully deterministic."""
+    queues = [f"q{i}" for i in range(n_queues)]
+    devices = [f"d{i}" for i in range(n_devices)]
+    cost = {
+        q: {
+            d: data.draw(
+                st.one_of(
+                    st.floats(min_value=0.001, max_value=100.0),
+                    st.just(math.inf),
+                ),
+                label=f"{q}/{d}",
+            )
+            for d in devices
+        }
+        for q in queues
+    }
+    feasible = all(
+        any(math.isfinite(cost[q][d]) for d in devices) for q in queues
+    )
+    if not feasible:
+        with pytest.raises(MapperError):
+            greedy_mapping(queues, devices, cost)
+        return
+    greedy = greedy_mapping(queues, devices, cost)
+    assert not greedy.exact
+    # Deterministic: identical result on a second run.
+    again = greedy_mapping(queues, devices, cost)
+    assert again.mapping == greedy.mapping
+    assert again.makespan == greedy.makespan
+    # Claimed makespan is what the mapping actually achieves.
+    loads = greedy.device_loads(cost)
+    assert max(loads.values()) == pytest.approx(greedy.makespan)
+    # Within the documented factor of optimal (LPT alone guarantees 4/3 on
+    # identical machines; on unrelated machines with refinement, 2x is a
+    # generous enforced envelope).
+    exact = brute_force_mapping(queues, devices, cost)
+    assert greedy.makespan <= 2.0 * exact.makespan + 1e-9
+
+
+def test_exact_limit_forces_greedy_fallback(monkeypatch):
+    queues = [f"q{i}" for i in range(4)]
+    devices = ["a", "b"]
+    cost = {q: {d: 1.0 for d in devices} for q in queues}
+    res = optimal_mapping(queues, devices, cost, exact_limit=3)
+    assert not res.exact
+    assert res.makespan == pytest.approx(2.0)
+    # Same threshold via the environment knob.
+    monkeypatch.setenv(EXACT_LIMIT_ENV, "3")
+    res_env = optimal_mapping(queues, devices, cost)
+    assert not res_env.exact
+    assert res_env.mapping == res.mapping
+    # Raising it back re-enables exact search.
+    monkeypatch.setenv(EXACT_LIMIT_ENV, "16")
+    assert optimal_mapping(queues, devices, cost).exact
+
+
+def test_greedy_seed_preserves_exact_results_on_bench_instance():
+    """The greedy-seeded, bound-pruned search returns the same mapping as an
+    unseeded exhaustive tie-break search (seeding only cuts exploration)."""
+    queues = [f"q{i}" for i in range(8)]
+    devices = ["cpu", "gpu0", "gpu1", "gpu2"]
+    cost = {
+        q: {d: 1.0 + ((i * 7 + j * 3) % 5) * 0.37 for j, d in enumerate(devices)}
+        for i, q in enumerate(queues)
+    }
+    res = optimal_mapping(queues, devices, cost)
+    brute = brute_force_mapping(queues, devices, cost)
+    assert res.makespan == pytest.approx(brute.makespan)
+    assert res.explored < brute.explored
 
 
 @settings(max_examples=50, deadline=None)

@@ -93,3 +93,89 @@ def test_auto_names_unique(manual_context):
     a = manual_context.create_buffer(64)
     b = manual_context.create_buffer(64)
     assert a.name != b.name
+
+
+# ---------------------------------------------------------------------------
+# Residency counters: context.resident_bytes must stay exact under every
+# mutation path of Buffer.valid_on (the scheduler's O(1) memory-fit check
+# depends on it).
+# ---------------------------------------------------------------------------
+
+
+def _assert_counters_exact(context, devices):
+    for dev in devices:
+        expected = sum(
+            b.nbytes for b in context.buffers if b.resident_on(dev)
+        )
+        assert context.resident_bytes(dev) == expected, (
+            f"counter for {dev!r}: {context.resident_bytes(dev)} != "
+            f"recount {expected}"
+        )
+
+
+def test_resident_bytes_tracks_all_set_mutations(manual_context):
+    devices = ["cpu", "gpu0", "gpu1"]
+    a = manual_context.create_buffer(100)
+    b = manual_context.create_buffer(200)
+    c = manual_context.create_buffer(400)
+
+    a.valid_on.add("gpu0")
+    a.valid_on.add("gpu0")  # duplicate add: no double count
+    b.valid_on.update({"gpu0", "gpu1", HOST})
+    c.valid_on |= {"cpu", "gpu1"}
+    _assert_counters_exact(manual_context, devices)
+    assert manual_context.resident_bytes("gpu0") == 300  # a + b, host excluded
+
+    a.valid_on.discard("gpu0")
+    a.valid_on.discard("gpu0")  # idempotent
+    b.valid_on.remove("gpu1")
+    with pytest.raises(KeyError):
+        b.valid_on.remove("gpu1")
+    _assert_counters_exact(manual_context, devices)
+
+    c.valid_on.intersection_update({"gpu1", "never"})
+    b.valid_on.symmetric_difference_update({HOST, "cpu"})  # drop HOST, add cpu
+    _assert_counters_exact(manual_context, devices)
+
+    b.valid_on -= {"cpu"}
+    c.valid_on ^= {"gpu1", "gpu0"}  # gpu1 out, gpu0 in
+    _assert_counters_exact(manual_context, devices)
+
+    while c.valid_on:
+        c.valid_on.pop()
+    _assert_counters_exact(manual_context, devices)
+    assert manual_context.resident_bytes("gpu0") == 200  # only b remains
+
+    b.valid_on.clear()
+    _assert_counters_exact(manual_context, devices)
+    for dev in devices:
+        assert manual_context.resident_bytes(dev) == 0
+
+
+def test_resident_bytes_tracks_property_assignment(manual_context):
+    devices = ["cpu", "gpu0", "gpu1"]
+    b = manual_context.create_buffer(128)
+    b.valid_on = {"gpu0", "gpu1", HOST}
+    _assert_counters_exact(manual_context, devices)
+    assert manual_context.resident_bytes("gpu0") == 128
+    # Reassignment re-accounts only the difference.
+    b.valid_on = {"cpu"}
+    _assert_counters_exact(manual_context, devices)
+    assert manual_context.resident_bytes("gpu0") == 0
+    assert manual_context.resident_bytes("cpu") == 128
+    b.valid_on = set()
+    _assert_counters_exact(manual_context, devices)
+
+
+def test_resident_bytes_tracks_coherence_helpers(manual_context):
+    devices = ["cpu", "gpu0", "gpu1"]
+    b = manual_context.create_buffer(64)
+    b.mark_valid("gpu0")
+    b.mark_valid("gpu1")
+    b.mark_exclusive("cpu")
+    _assert_counters_exact(manual_context, devices)
+    assert manual_context.resident_bytes("cpu") == 64
+    assert manual_context.resident_bytes("gpu0") == 0
+    b.invalidate("cpu")
+    _assert_counters_exact(manual_context, devices)
+    assert manual_context.resident_bytes("cpu") == 0

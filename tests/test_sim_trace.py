@@ -90,3 +90,116 @@ def test_extend():
     t = Trace()
     t.extend([TraceInterval("r", "t", "c", 0.0, 1.0)])
     assert len(t) == 1
+
+
+# ---------------------------------------------------------------------------
+# Index consistency: the lazily-maintained indexes must answer every query
+# identically to a straight linear scan, at every point of an interleaved
+# record/query/extend sequence.
+# ---------------------------------------------------------------------------
+
+
+class _LinearScanTrace:
+    """Reference implementation: every query is a full O(n) scan."""
+
+    def __init__(self):
+        self.intervals = []
+
+    def record(self, resource, task, category, start, end, meta=None):
+        self.intervals.append(
+            TraceInterval(resource, task, category, start, end, meta or {})
+        )
+
+    def extend(self, intervals):
+        self.intervals.extend(intervals)
+
+    def filter(self, resource=None, category=None):
+        return [
+            iv
+            for iv in self.intervals
+            if (resource is None or iv.resource == resource)
+            and (category is None or iv.category == category)
+        ]
+
+    def total_time(self, resource=None, category=None):
+        return sum(iv.duration for iv in self.filter(resource, category))
+
+    def count(self, resource=None, category=None):
+        return len(self.filter(resource, category))
+
+    def resources(self):
+        return sorted({iv.resource for iv in self.intervals})
+
+    def categories(self):
+        return sorted({iv.category for iv in self.intervals})
+
+    def by_resource(self, category=None):
+        out = {}
+        for iv in self.filter(category=category):
+            out[iv.resource] = out.get(iv.resource, 0.0) + iv.duration
+        return out
+
+    def counts_by_resource(self, category=None):
+        out = {}
+        for iv in self.filter(category=category):
+            out[iv.resource] = out.get(iv.resource, 0) + 1
+        return out
+
+
+def _assert_matches_reference(trace, ref):
+    resources = ref.resources()
+    categories = ref.categories()
+    assert trace.resources() == resources
+    assert trace.categories() == categories
+    assert len(trace) == len(ref.intervals)
+    for r in resources + [None, "never-seen"]:
+        for c in categories + [None, "never-seen"]:
+            assert trace.filter(resource=r, category=c) == ref.filter(r, c), (
+                f"filter mismatch for resource={r!r} category={c!r}"
+            )
+            assert trace.total_time(resource=r, category=c) == pytest.approx(
+                ref.total_time(r, c)
+            )
+            assert trace.count(resource=r, category=c) == ref.count(r, c)
+    for c in categories + [None]:
+        assert trace.by_resource(category=c) == pytest.approx(
+            ref.by_resource(category=c)
+        )
+        assert trace.counts_by_resource(category=c) == ref.counts_by_resource(
+            category=c
+        )
+
+
+def test_indexes_match_linear_scan_under_interleaving():
+    """Record bursts interleaved with queries and bulk extends: the indexed
+    trace must agree with the reference scan after every burst (queries must
+    not miss intervals appended since the previous catch-up)."""
+    trace = Trace()
+    ref = _LinearScanTrace()
+    resources = ["dev:cpu", "dev:gpu0", "dev:gpu1", "link:pcie"]
+    categories = ["kernel", "transfer", "profile-kernel", "migration"]
+    t = 0.0
+    n = 0
+    for burst, size in enumerate((7, 1, 13, 4, 29, 2)):
+        for _ in range(size):
+            r = resources[n % len(resources)]
+            c = categories[(n * 5 + burst) % len(categories)]
+            dur = 0.25 + (n % 6) * 0.125
+            for tr in (trace, ref):
+                tr.record(r, f"t{n}", c, t, t + dur, {"i": n})
+            t += dur * 0.5
+            n += 1
+        # A bulk extend in the middle exercises the non-record append path.
+        if burst == 2:
+            batch = [
+                TraceInterval("dev:ext", f"b{i}", "kernel", t + i, t + i + 0.5)
+                for i in range(3)
+            ]
+            trace.extend(batch)
+            ref.extend(batch)
+        _assert_matches_reference(trace, ref)
+    # Queries on a fully-caught-up trace, then one more append: the next
+    # query must pick up the straggler.
+    trace.record("dev:cpu", "last", "kernel", t, t + 1.0)
+    ref.record("dev:cpu", "last", "kernel", t, t + 1.0)
+    _assert_matches_reference(trace, ref)
