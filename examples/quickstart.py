@@ -43,6 +43,7 @@ def main() -> None:
     x = np.linspace(0.0, 1.0, N, dtype=np.float32)
     buf_x = ctx.create_buffer(4 * N, host_array=x.copy(), name="x")
     buf_y = ctx.create_buffer(4 * N, host_array=np.zeros(N, np.float32), name="y")
+    buf_z = ctx.create_buffer(4 * N, host_array=np.zeros(N, np.float32), name="z")
 
     heavy = program.create_kernel("saxpy_heavy")
     heavy.set_arg(0, buf_x)
@@ -51,7 +52,7 @@ def main() -> None:
 
     gather = program.create_kernel("sparse_gather")
     gather.set_arg(0, buf_x)
-    gather.set_arg(1, buf_y)
+    gather.set_arg(1, buf_z)
     gather.set_arg(2, N)
 
     # 2. One line per queue opts into scheduling (the proposed SCHED_* flags).
@@ -59,9 +60,12 @@ def main() -> None:
     q_compute = mcl.queue(flags=flags, name="compute-queue")
     q_gather = mcl.queue(flags=flags, name="gather-queue")
 
-    q_compute.enqueue_write_buffer(buf_x, x)
+    # Both kernels consume x, so the gather waits on the upload event —
+    # cross-queue ordering the sanitizer (MULTICL_SANITIZE=1) would
+    # otherwise flag as a read/write race.
+    ev_x = q_compute.enqueue_write_buffer(buf_x, x)
     q_compute.enqueue_nd_range_kernel(heavy, (N,), (128,))
-    q_gather.enqueue_nd_range_kernel(gather, (N,), (128,))
+    q_gather.enqueue_nd_range_kernel(gather, (N,), (128,), wait_events=[ev_x])
 
     # Synchronisation triggers the scheduler: profile -> map -> issue.
     q_compute.finish()

@@ -27,6 +27,15 @@ Quickstart::
     ...  # build a program, enqueue kernels, q.finish()
 """
 
+from repro.analysis import (
+    Finding,
+    FindingKind,
+    SanitizerError,
+    SanitizerWarning,
+    Severity,
+    lint_trace,
+    validate_pool,
+)
 from repro.core import (
     AutoFitScheduler,
     DeviceProfile,
@@ -84,6 +93,13 @@ __all__ = [
     "FaultPlan",
     "FaultPolicy",
     "FaultInjector",
+    "Finding",
+    "FindingKind",
+    "Severity",
+    "SanitizerError",
+    "SanitizerWarning",
+    "validate_pool",
+    "lint_trace",
     "Platform",
     "get_platforms",
     "Context",

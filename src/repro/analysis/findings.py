@@ -1,0 +1,96 @@
+"""Structured findings reported by the command-graph sanitizer.
+
+Every check in :mod:`repro.analysis` — the static pool validator, the
+opt-in runtime sanitizer, and the post-hoc trace lint — reports
+:class:`Finding` records rather than strings, so callers can filter by
+:class:`FindingKind`, gate on :class:`Severity`, and render the structured
+payload (the cycle path, the racing command labels, the buffer name)
+however they need.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.ocl.errors import InvalidOperation
+
+__all__ = [
+    "Severity",
+    "FindingKind",
+    "Finding",
+    "SanitizerError",
+    "SanitizerWarning",
+]
+
+
+class Severity(enum.IntEnum):
+    """How bad a finding is; orderable (``ERROR`` > ``WARNING`` > ``INFO``)."""
+
+    INFO = 0
+    WARNING = 1
+    ERROR = 2
+
+
+class FindingKind(enum.Enum):
+    """What the sanitizer detected."""
+
+    #: Event wait-list cycle among deferred commands (guaranteed issue
+    #: deadlock); the finding carries the actual cycle path.
+    WAITLIST_CYCLE = "waitlist-cycle"
+    #: Two commands touch the same buffer, at least one writes, and no
+    #: event-ordering path runs between them.
+    DATA_RACE = "data-race"
+    #: A read ordered before the write that produces its data, a read of a
+    #: never-written buffer, or a read of data invalidated by a device
+    #: failure (host-shadow fallback).
+    STALE_READ = "stale-read"
+    #: A wait-list references an event whose command will never issue
+    #: (not pending on any pooled queue, not already issued).
+    ORPHAN_EVENT = "orphan-event"
+    #: Trace lint: two non-fault intervals overlap on one exclusive
+    #: (single-server FIFO) resource.
+    TRACE_OVERLAP = "trace-overlap"
+    #: Trace lint: an interval ends before it starts.
+    TRACE_NEGATIVE_TIME = "trace-negative-time"
+    #: Trace lint: work charged to a device after its permanent failure.
+    TRACE_DEAD_DEVICE_WORK = "trace-dead-device-work"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One sanitizer diagnosis.
+
+    ``subjects`` names the commands/intervals involved (stable labels such
+    as ``"q1[0]:ndrange_kernel"`` or trace task names); ``cycle`` is the
+    ordered wait path for :attr:`FindingKind.WAITLIST_CYCLE` (first label
+    repeated at the end to close the loop); ``buffer`` names the contested
+    :class:`~repro.ocl.memory.Buffer` where one is involved.
+    """
+
+    kind: FindingKind
+    severity: Severity
+    message: str
+    subjects: Tuple[str, ...] = field(default=())
+    buffer: Optional[str] = None
+    cycle: Optional[Tuple[str, ...]] = None
+
+    def __str__(self) -> str:
+        return f"[{self.severity.name}] {self.kind.value}: {self.message}"
+
+
+class SanitizerError(InvalidOperation):
+    """Raised by the runtime sanitizer on :attr:`Severity.ERROR` findings.
+
+    Carries the full findings list so callers can recover the structured
+    diagnoses from the exception.
+    """
+
+    def __init__(self, message: str, findings: Tuple[Finding, ...] = ()) -> None:
+        super().__init__(message)
+        self.findings = tuple(findings)
+
+
+class SanitizerWarning(UserWarning):
+    """Issued by the runtime sanitizer for sub-error findings."""

@@ -1,0 +1,198 @@
+"""Cross-queue command DAG for a scheduled ready-queue pool.
+
+The runtime may re-map command queues to devices behind the user's back, so
+the only ordering that survives scheduling is the one expressed through the
+command graph itself: intra-queue program order (in-order queues), barriers
+(out-of-order queues), and explicit event wait lists.  This module builds
+that graph for a pool of queues holding deferred commands, in two views:
+
+* **issue-blocking edges** (:attr:`CommandNode.blocks_on`) — what must
+  issue before a command can issue.  Mirrors
+  :meth:`~repro.ocl.context.Context.issue_pool` exactly: every command
+  blocks on its queue predecessor (head-of-line issue, even on
+  out-of-order queues) and on every still-deferred wait-list event.  A
+  cycle here is a guaranteed issue deadlock.
+* **happens-before edges** (:attr:`CommandNode.hb_succ`) — what is
+  guaranteed to *execute* before what.  In-order queues chain program
+  order; out-of-order queues order only around barriers; wait lists order
+  producer before waiter.  Two commands touching the same buffer with no
+  happens-before path between them race.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
+
+from repro.ocl.enums import CommandKind
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.ocl.event import Event
+    from repro.ocl.memory import Buffer
+    from repro.ocl.queue import Command, CommandQueue
+
+__all__ = ["CommandNode", "CommandGraph", "build_command_graph"]
+
+
+@dataclass
+class CommandNode:
+    """One deferred command in the pool graph."""
+
+    index: int
+    queue: "CommandQueue"
+    position: int  # position within queue.pending
+    command: "Command"
+    label: str
+    reads: Tuple["Buffer", ...]
+    writes: Tuple["Buffer", ...]
+    #: node indexes this command must wait for before it can *issue*
+    blocks_on: List[int] = field(default_factory=list)
+    #: node indexes guaranteed to execute *after* this command
+    hb_succ: List[int] = field(default_factory=list)
+
+
+@dataclass
+class CommandGraph:
+    """The pool DAG plus everything the validator needs alongside it."""
+
+    nodes: List[CommandNode]
+    #: (waiting node, unissuable event) pairs found while resolving wait
+    #: lists: the event's command is neither issued nor pending on any
+    #: pooled queue, so the waiter can never become ready.
+    orphans: List[Tuple[CommandNode, "Event"]]
+
+    # -- reachability over happens-before edges -------------------------
+    def happens_before(self, a: int, b: int) -> bool:
+        """True if node ``a`` is ordered (transitively) before node ``b``."""
+        return bool(self._reach_masks()[a] & (1 << b))
+
+    def ordered(self, a: int, b: int) -> bool:
+        """True if a happens-before path runs either way between the two."""
+        masks = self._reach_masks()
+        return bool(masks[a] & (1 << b)) or bool(masks[b] & (1 << a))
+
+    def _reach_masks(self) -> List[int]:
+        """Per-node bitmask of transitively reachable nodes (hb edges)."""
+        cached = getattr(self, "_reach_cache", None)
+        if cached is not None:
+            return cached
+        n = len(self.nodes)
+        masks = [0] * n
+        for start in range(n):
+            seen = 1 << start
+            stack = [start]
+            while stack:
+                cur = stack.pop()
+                # Reuse already-computed masks (cur < start is complete).
+                done = masks[cur]
+                if cur != start and done:
+                    seen |= done
+                    continue
+                for succ in self.nodes[cur].hb_succ:
+                    bit = 1 << succ
+                    if not seen & bit:
+                        seen |= bit
+                        stack.append(succ)
+            masks[start] = seen & ~(1 << start)
+        self._reach_cache = masks
+        return masks
+
+    # -- deadlock detection over issue-blocking edges --------------------
+    def find_issue_cycle(self) -> Optional[List[CommandNode]]:
+        """First cycle in the issue-blocking graph, or None.
+
+        Returns the nodes along the cycle in wait order (each node blocks
+        on the next; the last blocks on the first).
+        """
+        WHITE, GREY, BLACK = 0, 1, 2
+        color = [WHITE] * len(self.nodes)
+        for root in range(len(self.nodes)):
+            if color[root] != WHITE:
+                continue
+            # Iterative DFS keeping the grey path explicit.
+            stack: List[Tuple[int, int]] = [(root, 0)]
+            path: List[int] = []
+            while stack:
+                node, edge = stack[-1]
+                if edge == 0:
+                    color[node] = GREY
+                    path.append(node)
+                deps = self.nodes[node].blocks_on
+                if edge < len(deps):
+                    stack[-1] = (node, edge + 1)
+                    dep = deps[edge]
+                    if color[dep] == GREY:
+                        # path[i] blocks on path[i+1]; the back edge
+                        # node -> dep closes the loop.
+                        cycle = path[path.index(dep):]
+                        return [self.nodes[i] for i in cycle]
+                    if color[dep] == WHITE:
+                        stack.append((dep, 0))
+                else:
+                    stack.pop()
+                    path.pop()
+                    color[node] = BLACK
+        return None
+
+
+def _node_label(queue: "CommandQueue", position: int, command: "Command") -> str:
+    return f"{queue.name}[{position}]:{command.kind.value}"
+
+
+def build_command_graph(pool: Sequence["CommandQueue"]) -> CommandGraph:
+    """Build the command DAG over every deferred command of ``pool``."""
+    nodes: List[CommandNode] = []
+    by_command: Dict[int, CommandNode] = {}
+    for q in pool:
+        for pos, cmd in enumerate(q.pending):
+            reads, writes = cmd.access_sets()
+            node = CommandNode(
+                index=len(nodes),
+                queue=q,
+                position=pos,
+                command=cmd,
+                label=_node_label(q, pos, cmd),
+                reads=reads,
+                writes=writes,
+            )
+            nodes.append(node)
+            by_command[id(cmd)] = node
+
+    graph = CommandGraph(nodes=nodes, orphans=[])
+
+    for q in pool:
+        prev: Optional[CommandNode] = None
+        last_barrier: Optional[CommandNode] = None
+        queue_nodes: List[CommandNode] = []
+        for pos, cmd in enumerate(q.pending):
+            node = by_command[id(cmd)]
+            # Issue order is head-of-line on every queue (issue_pool only
+            # ever considers pending[0]).
+            if prev is not None:
+                node.blocks_on.append(prev.index)
+            # Happens-before: program order (in-order) or barriers (OOO).
+            if not q.out_of_order:
+                if prev is not None:
+                    prev.hb_succ.append(node.index)
+            elif cmd.kind is CommandKind.BARRIER:
+                for earlier in queue_nodes:
+                    if node.index not in earlier.hb_succ:
+                        earlier.hb_succ.append(node.index)
+                last_barrier = node
+            elif last_barrier is not None:
+                last_barrier.hb_succ.append(node.index)
+            # Wait lists: producer happens-before waiter; a still-deferred
+            # producer also blocks issue.
+            for event in cmd.wait_events:
+                if not event.deferred:
+                    continue  # already issued: ordered before the whole pool
+                producer = by_command.get(id(event.command))
+                if producer is None:
+                    graph.orphans.append((node, event))
+                    continue
+                if producer.index != node.index:
+                    node.blocks_on.append(producer.index)
+                    producer.hb_succ.append(node.index)
+            prev = node
+            queue_nodes.append(node)
+    return graph

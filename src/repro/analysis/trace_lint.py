@@ -1,0 +1,104 @@
+"""Post-hoc lint over recorded :class:`~repro.sim.trace.Trace` objects.
+
+The third exposure of the sanitizer: after (or during) a run, check the
+recorded timeline itself for physically impossible or suspicious shapes —
+the kind of accounting corruption that silently skews every downstream
+figure:
+
+* **negative-time intervals** — an interval ends before it starts;
+* **exclusive-resource overlap** — two intervals overlap on a
+  single-server FIFO resource (``dev:*`` / ``link:*``).  Fault and
+  recovery intervals are exempt: slowdown windows deliberately span the
+  kernels they throttle;
+* **dead-device work** — work charged to a device after its permanent
+  failure (a ``fault`` interval with ``kind == "device-failure"``).
+
+Findings reuse the structured :class:`~repro.analysis.findings.Finding`
+record, so trace lint composes with the pool validator in tooling.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List
+
+from repro.analysis.findings import Finding, FindingKind, Severity
+from repro.sim.trace import FAULT_CATEGORY, RECOVERY_CATEGORY, Trace
+
+__all__ = ["lint_trace"]
+
+#: Trace categories allowed to overlap real work on the same resource.
+_OVERLAY_CATEGORIES = frozenset((FAULT_CATEGORY, RECOVERY_CATEGORY))
+
+#: Resource-name prefixes of single-server (exclusive) FIFO resources.
+_EXCLUSIVE_PREFIXES = ("dev:", "link:")
+
+
+def lint_trace(trace: Trace) -> List[Finding]:
+    """Lint ``trace``; returns findings (empty = clean)."""
+    findings: List[Finding] = []
+    per_resource: Dict[str, List] = {}
+    failed_at: Dict[str, float] = {}
+
+    for iv in trace:
+        if iv.end < iv.start:
+            findings.append(
+                Finding(
+                    kind=FindingKind.TRACE_NEGATIVE_TIME,
+                    severity=Severity.ERROR,
+                    message=(
+                        f"interval {iv.task!r} on {iv.resource} ends before "
+                        f"it starts ({iv.end} < {iv.start})"
+                    ),
+                    subjects=(iv.task,),
+                )
+            )
+        if iv.category == FAULT_CATEGORY and iv.meta.get("kind") == "device-failure":
+            failed_at[iv.resource] = min(
+                failed_at.get(iv.resource, math.inf), iv.start
+            )
+        if (
+            iv.resource.startswith(_EXCLUSIVE_PREFIXES)
+            and iv.category not in _OVERLAY_CATEGORIES
+        ):
+            per_resource.setdefault(iv.resource, []).append(iv)
+
+    for resource, intervals in per_resource.items():
+        intervals.sort(key=lambda iv: (iv.start, iv.end))
+        prev = None
+        for iv in intervals:
+            if prev is not None and iv.start < prev.end - 1e-12:
+                findings.append(
+                    Finding(
+                        kind=FindingKind.TRACE_OVERLAP,
+                        severity=Severity.ERROR,
+                        message=(
+                            f"intervals {prev.task!r} and {iv.task!r} overlap "
+                            f"on exclusive resource {resource} "
+                            f"([{prev.start}, {prev.end}) vs "
+                            f"[{iv.start}, {iv.end}))"
+                        ),
+                        subjects=(prev.task, iv.task),
+                    )
+                )
+            if prev is None or iv.end > prev.end:
+                prev = iv
+        dead = failed_at.get(resource)
+        if dead is not None:
+            for iv in intervals:
+                if iv.meta.get("aborted"):
+                    continue  # partial execution cut off by the failure
+                if iv.start >= dead - 1e-12:
+                    findings.append(
+                        Finding(
+                            kind=FindingKind.TRACE_DEAD_DEVICE_WORK,
+                            severity=Severity.ERROR,
+                            message=(
+                                f"interval {iv.task!r} starts at {iv.start} "
+                                f"on {resource}, which permanently failed "
+                                f"at {dead}"
+                            ),
+                            subjects=(iv.task,),
+                        )
+                    )
+    return findings

@@ -41,8 +41,16 @@ PROFILE_CACHE_ENV = "MULTICL_PROFILE_CACHE"
 #: (path, mtime_ns, size) -> parsed JSON payload of the last profile read.
 _read_memo: Dict[Any, Dict[str, Any]] = {}
 
-#: Recently fingerprinted (spec, digest) pairs, matched by equality.
-_fp_memo: list = []
+#: Equality key of a NodeSpec -> digest, bounded FIFO (insertion-ordered
+#: dict).  NodeSpec itself is unhashable (its ``host_links`` is a dict), so
+#: the key is the hashable equivalent of its equality tuple.
+_fp_memo: Dict[Any, str] = {}
+_FP_MEMO_MAX = 64
+
+
+def _fp_memo_key(spec: NodeSpec) -> Any:
+    """Hashable key with the same equality semantics as the spec itself."""
+    return (spec.name, spec.devices, tuple(sorted(spec.host_links.items())))
 
 
 def default_cache_dir() -> Path:
@@ -65,17 +73,18 @@ def node_fingerprint(spec: NodeSpec) -> str:
     if cached is not None:
         return cached
     # Equality fallback: distinct-but-equal spec instances (each runtime
-    # construction may build its own) share the digest without re-serialising.
-    for known, digest in _fp_memo:
-        if known == spec:
-            object.__setattr__(spec, "_fingerprint_memo", digest)
-            return digest
-    payload = json.dumps(_spec_to_jsonable(spec), sort_keys=True)
-    digest = hashlib.sha256(payload.encode()).hexdigest()[:16]
+    # construction may build its own) share the digest without
+    # re-serialising.  Dict lookup, bounded FIFO eviction — repeated
+    # distinct specs can never grow the memo past _FP_MEMO_MAX entries.
+    key = _fp_memo_key(spec)
+    digest = _fp_memo.get(key)
+    if digest is None:
+        payload = json.dumps(_spec_to_jsonable(spec), sort_keys=True)
+        digest = hashlib.sha256(payload.encode()).hexdigest()[:16]
+        while len(_fp_memo) >= _FP_MEMO_MAX:
+            _fp_memo.pop(next(iter(_fp_memo)))
+        _fp_memo[key] = digest
     object.__setattr__(spec, "_fingerprint_memo", digest)
-    _fp_memo.append((spec, digest))
-    if len(_fp_memo) > 8:
-        del _fp_memo[0]
     return digest
 
 

@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
+from repro.analysis.sanitizer import SANITIZE_PROPERTY_KEY
 from repro.core.flags import CONFIG_PROPERTY_KEY, SchedulerConfig
 from repro.hardware.specs import NodeSpec
 from repro.ocl.context import Context
@@ -131,6 +132,13 @@ class MultiCL:
     fault_policy:
         Recovery knobs (:class:`~repro.sim.faults.FaultPolicy`); defaults
         to three replay attempts with exponential backoff.
+    sanitize:
+        Opt-in runtime sanitizer (:mod:`repro.analysis`): validate the
+        ready-queue pool at every scheduler trigger, raising
+        :class:`~repro.analysis.findings.SanitizerError` on cycles, data
+        races and orphaned events, and warning on stale reads.  ``None``
+        (the default) defers to the ``MULTICL_SANITIZE`` environment
+        variable; ``True``/``False`` override it.
     """
 
     def __init__(
@@ -141,6 +149,7 @@ class MultiCL:
         profile_dir: Optional[str] = None,
         fault_plan: Optional[FaultPlan] = None,
         fault_policy: Optional[FaultPolicy] = None,
+        sanitize: Optional[bool] = None,
     ) -> None:
         self.platform = Platform(node_spec, profile=True, profile_dir=profile_dir)
         properties: Dict = {}
@@ -148,6 +157,8 @@ class MultiCL:
             properties[ContextProperty.CL_CONTEXT_SCHEDULER] = policy
         if config is not None:
             properties[CONFIG_PROPERTY_KEY] = config
+        if sanitize is not None:
+            properties[SANITIZE_PROPERTY_KEY] = bool(sanitize)
         self.context: Context = self.platform.create_context(properties=properties)
         self._marks: List[float] = []
         self.fault_policy = fault_policy

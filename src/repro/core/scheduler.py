@@ -87,7 +87,10 @@ class MultiCLSchedulerBase(SchedulerBase):
     def on_enqueue(self, queue: "CommandQueue", command: "Command") -> None:
         if self.config.per_kernel_trigger and command.is_kernel:
             # High-frequency mode: schedule immediately on every kernel
-            # (the costly alternative discussed in Section V.A).
+            # (the costly alternative discussed in Section V.A).  This
+            # bypasses Context._sync_pending, so the sanitizer hook runs
+            # here to keep "every scheduler trigger" covered.
+            self.context._sanitize_check([queue])
             self.on_sync([queue], trigger_queue=queue)
 
     # -- fault handling ----------------------------------------------------

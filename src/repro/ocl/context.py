@@ -67,6 +67,19 @@ class Context:
         self._in_sync = False
         self._resync_needed = False
         self._post_sync: List[Any] = []
+        # Opt-in runtime sanitizer: the "multicl.sanitize" context property
+        # wins; otherwise MULTICL_SANITIZE in the environment decides.
+        from repro.analysis.sanitizer import (
+            SANITIZE_PROPERTY_KEY,
+            sanitize_enabled_from_env,
+        )
+
+        sanitize_prop = self.properties.get(SANITIZE_PROPERTY_KEY)
+        self.sanitize: bool = (
+            bool(sanitize_prop)
+            if sanitize_prop is not None
+            else sanitize_enabled_from_env()
+        )
         policy = self.properties.get(ContextProperty.CL_CONTEXT_SCHEDULER)
         if policy is not None:
             try:
@@ -170,6 +183,7 @@ class Context:
                     raise InvalidOperation(
                         "deferred commands exist but the context has no scheduler"
                     )
+                self._sanitize_check(pool)
                 self.scheduler.on_sync(pool, trigger_queue)
                 leftovers = [
                     q.name for q in pool if q.pending and not self._resync_needed
@@ -186,6 +200,21 @@ class Context:
         for fn in callbacks:
             fn()
 
+    def _sanitize_check(self, pool: Sequence[CommandQueue]) -> None:
+        """Runtime sanitizer hook: validate ``pool`` before it is issued.
+
+        No-op unless sanitize mode is on (``MULTICL_SANITIZE=1``,
+        ``MultiCL(sanitize=True)``, or the ``"multicl.sanitize"`` context
+        property).  Error findings raise
+        :class:`~repro.analysis.findings.SanitizerError`; warnings emit
+        :class:`~repro.analysis.findings.SanitizerWarning`.
+        """
+        if not self.sanitize or not pool:
+            return
+        from repro.analysis.sanitizer import check_pool
+
+        check_pool(pool)
+
     def issue_pool(self, pool: Sequence[CommandQueue]) -> None:
         """Issue every deferred command of ``pool`` respecting cross-queue
         event dependencies (schedulers call this after mapping)."""
@@ -199,9 +228,16 @@ class Context:
                     progress = True
             remaining = [q for q in remaining if q.pending]
         if remaining:
-            stuck = {q.name: len(q.pending) for q in remaining}
+            # Name the actual dependency cycle (or orphaned event) instead
+            # of opaque pending counts.
+            from repro.analysis.validator import describe_deadlock
+
+            detail = describe_deadlock(remaining)
+            if detail is None:
+                stuck = {q.name: len(q.pending) for q in remaining}
+                detail = f"stuck pending counts: {stuck}"
             raise InvalidOperation(
-                f"cross-queue dependency deadlock while issuing: {stuck}"
+                f"cross-queue dependency deadlock while issuing: {detail}"
             )
 
     def finish_all(self) -> None:

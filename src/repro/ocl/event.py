@@ -53,6 +53,15 @@ class Event:
     def complete(self) -> bool:
         return self.task is not None and self.task.done
 
+    @property
+    def deferred(self) -> bool:
+        """Still awaiting issue: no simulated task bound, command unissued.
+
+        The command-graph sanitizer treats deferred events as live graph
+        edges; issued events are ordered before the whole pool.
+        """
+        return self.task is None and not self.command.issued
+
     # Profiling info (CL_PROFILING_COMMAND_START/END analogues) ----------
     @property
     def profile_start(self) -> float:

@@ -157,6 +157,11 @@ class Buffer:
         self.array = host_array
         self.name = name or f"buf{next(_ids)}"
         self._valid_on: _ResidencySet = _ResidencySet(self)
+        #: True after the buffer's only valid copy died with its device and
+        #: residency fell back to the host shadow; cleared by the next
+        #: write (:meth:`mark_exclusive`).  The sanitizer flags reads of
+        #: such buffers that are not ordered behind a fresh write.
+        self.host_shadow_stale = False
         #: parent buffer when this is a sub-buffer (clCreateSubBuffer)
         self.parent: Optional["Buffer"] = None
         #: byte offset into the parent's data store
@@ -246,6 +251,7 @@ class Buffer:
     def mark_exclusive(self, holder: str) -> None:
         """The copy on ``holder`` is now the only valid one (it was written)."""
         self.valid_on = {holder}
+        self.host_shadow_stale = False
 
     def invalidate(self, holder: str) -> None:
         self.valid_on.discard(holder)
@@ -263,6 +269,7 @@ class Buffer:
         self.valid_on.discard(device)
         if not self.valid_on:
             self.valid_on.add(HOST)
+            self.host_shadow_stale = True
             return True
         return False
 

@@ -32,7 +32,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, TYPE_CHECKING
+from typing import Any, Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
 
 from repro.ocl.enums import CommandKind, SchedFlag
 from repro.ocl.errors import (
@@ -90,6 +90,37 @@ class Command:
     def deps_ready(self) -> bool:
         """All wait-list events already have simulated tasks bound."""
         return all(e.task is not None for e in self.wait_events)
+
+    def access_sets(self) -> "Tuple[Tuple[Buffer, ...], Tuple[Buffer, ...]]":
+        """``(reads, writes)`` buffer tuples for hazard analysis.
+
+        Kernel write sets follow the ``writes=`` source annotation
+        (without one, every buffer argument counts as written — the same
+        conservative rule :meth:`CommandQueue._written_buffers` applies at
+        issue time); kernel arguments are all counted as read, since the
+        runtime cannot see whether a written argument is also consumed.
+        Markers and barriers touch no buffers.
+        """
+        if self.kind is CommandKind.NDRANGE_KERNEL:
+            assert self.kernel is not None
+            bufs = {
+                i: v for i, v in self.args_snapshot.items() if isinstance(v, Buffer)
+            }
+            writes_idx = self.kernel.info.writes
+            writes = tuple(
+                b for i, b in bufs.items() if not writes_idx or i in writes_idx
+            )
+            return tuple(bufs.values()), writes
+        if self.kind in (CommandKind.WRITE_BUFFER, CommandKind.FILL_BUFFER):
+            assert self.buffer is not None
+            return (), (self.buffer,)
+        if self.kind is CommandKind.READ_BUFFER:
+            assert self.buffer is not None
+            return (self.buffer,), ()
+        if self.kind is CommandKind.COPY_BUFFER:
+            assert self.buffer is not None and self.src_buffer is not None
+            return (self.src_buffer,), (self.buffer,)
+        return (), ()
 
 
 class CommandQueue:

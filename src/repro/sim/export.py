@@ -109,22 +109,30 @@ def utilization_report(
 
     Returns ``{resource: {"busy_s": float, "utilization": float,
     "by_category": {category: seconds}}}``.  ``t1`` defaults to the latest
-    interval end.  Intervals are attributed by start time (consistent with
-    :meth:`Trace.between`).
+    interval end.  Every interval is clipped to the window and only the
+    overlapping portion is attributed, so intervals straddling either edge
+    contribute exactly their in-window seconds (an interval entirely
+    outside the window contributes nothing).  With exclusive resources the
+    busy total can therefore never exceed the span — no clamping needed.
     """
     if t1 is None:
         t1 = max((iv.end for iv in trace), default=t0)
     span = max(t1 - t0, 1e-15)
     report: Dict[str, Dict] = {}
     for iv in trace:
-        if not (t0 <= iv.start < t1):
+        overlap = min(iv.end, t1) - max(iv.start, t0)
+        # Zero-duration instants inside the window stay visible in the
+        # report (0 s busy); anything else without overlap is out.
+        if overlap < 0.0 or (
+            overlap == 0.0 and not (iv.start == iv.end and t0 <= iv.start < t1)
+        ):
             continue
         entry = report.setdefault(
             iv.resource, {"busy_s": 0.0, "utilization": 0.0, "by_category": {}}
         )
-        entry["busy_s"] += iv.duration
+        entry["busy_s"] += overlap
         cats = entry["by_category"]
-        cats[iv.category] = cats.get(iv.category, 0.0) + iv.duration
+        cats[iv.category] = cats.get(iv.category, 0.0) + overlap
     for entry in report.values():
-        entry["utilization"] = min(entry["busy_s"] / span, 1.0)
+        entry["utilization"] = entry["busy_s"] / span
     return report

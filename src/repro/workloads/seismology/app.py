@@ -182,15 +182,24 @@ class FDMSeismologyApp:
         pts = self._region_points()
         self._region_state: List[Dict[str, object]] = []
         for region, q in enumerate(self.queues):
+            halo_bytes = max(5 * _MODEL_NZ * 8, 64)
             bufs = {
                 "v": context.create_buffer(pts * 2 * 8, name=f"fdm-v-r{region}"),
                 "s": context.create_buffer(pts * 3 * 8, name=f"fdm-s-r{region}"),
-                "halo": context.create_buffer(
-                    max(5 * _MODEL_NZ * 8, 64), name=f"fdm-halo-r{region}"
+                # Outgoing boundary strip: written by this region's sponge
+                # kernels, copied to the neighbour each step.
+                "halo": context.create_buffer(halo_bytes, name=f"fdm-halo-r{region}"),
+                # Incoming ghost cells: written only by the halo-exchange
+                # copy, read by this region's stress kernels.
+                "halo_in": context.create_buffer(
+                    halo_bytes, name=f"fdm-halo-in-r{region}"
                 ),
             }
             q.enqueue_write_buffer(bufs["v"])
             q.enqueue_write_buffer(bufs["s"])
+            # Iteration 1 exchanges the *initial* boundary values, so the
+            # outgoing strip must be populated before the first copy reads it.
+            q.enqueue_write_buffer(bufs["halo"])
             kernels: Dict[str, object] = {}
             names = [f"{k}_r{region}" for k in _VELOCITY_KERNELS[region]]
             strips = _STRESS_STRIPS[region]
@@ -204,7 +213,12 @@ class FDMSeismologyApp:
                 k = program.create_kernel(kname)
                 k.set_arg(0, bufs["v"])
                 k.set_arg(1, bufs["s"])
-                k.set_arg(2, bufs["halo"])
+                # Stress sweeps consume the neighbour's ghost cells; every
+                # other kernel works on the region's own boundary strip.
+                is_stress = kname.startswith("st_") and not kname.startswith(
+                    "st_sponge"
+                )
+                k.set_arg(2, bufs["halo_in"] if is_stress else bufs["halo"])
                 k.set_arg(3, pts)
                 kernels[kname] = k
             self._region_state.append({"bufs": bufs, "kernels": kernels})
@@ -256,7 +270,10 @@ class FDMSeismologyApp:
                 )
             assert ev is not None
             vel_events.append(ev)
-        # Interface halo exchange (velocity values cross the split).
+        # Interface halo exchange (velocity values cross the split): each
+        # queue pulls the neighbour's outgoing strip into its own ghost
+        # cells.  Send and receive sides are distinct buffers, so the two
+        # copies never touch the same memory object concurrently.
         halo_events: List[Event] = []
         for region, q in enumerate(self.queues):
             bufs = self._region_state[region]["bufs"]
@@ -264,14 +281,18 @@ class FDMSeismologyApp:
             halo_events.append(
                 q.enqueue_copy_buffer(
                     self._region_state[1 - region]["bufs"]["halo"],
-                    bufs["halo"],
+                    bufs["halo_in"],
                     wait_events=[vel_events[region], other],
                 )
             )
         for region, q in enumerate(self.queues):
             ks = self._region_state[region]["kernels"]
             strips = _STRESS_STRIPS[region]
-            wait: Sequence[Event] = [halo_events[region]]
+            # Waiting on *both* copies (in-order queues propagate the edge
+            # to the rest of the step) keeps this region's sponge writes to
+            # its outgoing strip ordered after the neighbour's copy that
+            # still reads it.
+            wait: Sequence[Event] = [halo_events[region], halo_events[1 - region]]
             for comp in ("sxx", "szz", "sxz"):
                 for s in range(strips):
                     q.enqueue_nd_range_kernel(

@@ -185,6 +185,30 @@ def test_fingerprint_stable_and_sensitive():
     assert a != c
 
 
+def test_fingerprint_memo_bounded():
+    """Fingerprinting a stream of distinct specs never grows the memo
+    past its FIFO bound."""
+    import dataclasses
+
+    base = aji_cluster15_node()
+    digests = set()
+    for i in range(3 * profile_store._FP_MEMO_MAX):
+        spec = dataclasses.replace(base, name=f"memo-bound-{i}")
+        digests.add(profile_store.node_fingerprint(spec))
+    assert len(digests) == 3 * profile_store._FP_MEMO_MAX
+    assert len(profile_store._fp_memo) <= profile_store._FP_MEMO_MAX
+
+
+def test_fingerprint_memo_shared_across_equal_specs():
+    """Distinct-but-equal spec instances reuse one memo entry."""
+    a = aji_cluster15_node()
+    fa = profile_store.node_fingerprint(a)
+    size = len(profile_store._fp_memo)
+    b = aji_cluster15_node()
+    assert profile_store.node_fingerprint(b) == fa
+    assert len(profile_store._fp_memo) == size
+
+
 def test_env_var_controls_cache_dir(tmp_path, monkeypatch):
     monkeypatch.setenv(profile_store.PROFILE_CACHE_ENV, str(tmp_path))
     assert profile_store.default_cache_dir() == tmp_path

@@ -27,6 +27,7 @@ EXPECTED = {
     "cluster_scheduling.py": "REMOTE",
     "double_buffering.py": "% faster",
     "fault_tolerance.py": "run completed on degraded pool, numerics exactly-once: True",
+    "sanitizer_demo.py": "fixed pipeline findings: 0",
 }
 
 

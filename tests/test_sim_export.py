@@ -105,3 +105,144 @@ def test_utilization_default_window(trace):
 
 def test_utilization_empty_trace():
     assert utilization_report(Trace()) == {}
+
+
+def test_utilization_clips_interval_straddling_window_start():
+    t = Trace()
+    t.record("dev:gpu0", "k", "kernel", 0.5, 2.0)
+    rep = utilization_report(t, 1.0, 3.0)
+    # Only the [1.0, 2.0) portion is in the window.
+    assert rep["dev:gpu0"]["busy_s"] == pytest.approx(1.0)
+    assert rep["dev:gpu0"]["utilization"] == pytest.approx(0.5)
+    assert rep["dev:gpu0"]["by_category"] == {"kernel": pytest.approx(1.0)}
+
+
+def test_utilization_clips_interval_straddling_window_end():
+    t = Trace()
+    t.record("dev:gpu0", "k", "kernel", 2.0, 4.0)
+    rep = utilization_report(t, 1.0, 3.0)
+    assert rep["dev:gpu0"]["busy_s"] == pytest.approx(1.0)
+    assert rep["dev:gpu0"]["utilization"] == pytest.approx(0.5)
+
+
+def test_utilization_clips_interval_spanning_whole_window():
+    t = Trace()
+    t.record("dev:gpu0", "k", "kernel", 0.0, 10.0)
+    rep = utilization_report(t, 4.0, 6.0)
+    # Exactly the window span is attributed; utilization is exact, not
+    # an artifact of the interval's full duration.
+    assert rep["dev:gpu0"]["busy_s"] == pytest.approx(2.0)
+    assert rep["dev:gpu0"]["utilization"] == pytest.approx(1.0)
+
+
+def test_utilization_excludes_interval_outside_window():
+    t = Trace()
+    t.record("dev:gpu0", "before", "kernel", 0.0, 1.0)
+    t.record("dev:gpu0", "after", "kernel", 5.0, 6.0)
+    assert utilization_report(t, 2.0, 4.0) == {}
+
+
+def test_utilization_not_clamped_on_shared_resources():
+    """Concurrent work on a non-exclusive resource can exceed the span —
+    the report must show it rather than clamp to 1.0."""
+    t = Trace()
+    t.record("host", "cb1", "schedule", 0.0, 2.0)
+    t.record("host", "cb2", "schedule", 0.0, 2.0)
+    rep = utilization_report(t, 0.0, 1.0)
+    assert rep["host"]["busy_s"] == pytest.approx(2.0)
+    assert rep["host"]["utilization"] == pytest.approx(2.0)
+
+
+def test_utilization_keeps_zero_duration_instants_in_window():
+    t = Trace()
+    t.record("dev:gpu0", "instant", "schedule", 1.5, 1.5)
+    rep = utilization_report(t, 1.0, 2.0)
+    assert rep["dev:gpu0"]["busy_s"] == 0.0
+    # The half-open window excludes an instant exactly at t1.
+    assert utilization_report(t, 0.0, 1.5) == {}
+
+
+def test_chrome_trace_golden():
+    """Byte-exact export: metadata, stable tids, colours, marks."""
+    t = Trace()
+    t.record("dev:gpu0", "k", "kernel", 0.0, 0.5, {"queue": "q0"})
+    t.record("link:pcie", "x", "weird-category", 0.25, 0.5)
+    t.mark(0.25, "epoch:1")
+    assert to_chrome_trace(t) == {
+        "traceEvents": [
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": 1,
+                "args": {"name": "MultiCL simulation"},
+            },
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 1,
+                "tid": 1,
+                "args": {"name": "dev:gpu0"},
+            },
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 1,
+                "tid": 2,
+                "args": {"name": "link:pcie"},
+            },
+            {
+                "name": "k",
+                "cat": "kernel",
+                "ph": "X",
+                "pid": 1,
+                "tid": 1,
+                "ts": 0.0,
+                "dur": 500000.0,
+                "cname": "thread_state_running",
+                "args": {"queue": "q0"},
+            },
+            {
+                "name": "x",
+                "cat": "weird-category",
+                "ph": "X",
+                "pid": 1,
+                "tid": 2,
+                "ts": 250000.0,
+                "dur": 250000.0,
+                # Unknown categories fall back to the neutral colour.
+                "cname": "generic_work",
+                "args": {},
+            },
+            {
+                "name": "epoch:1",
+                "cat": "mark",
+                "ph": "i",
+                "pid": 1,
+                "ts": 250000.0,
+                "s": "g",
+            },
+        ],
+        "displayTimeUnit": "ms",
+    }
+
+
+def test_chrome_trace_tids_stable_across_recording_order():
+    """Resource→tid assignment follows sorted resource names, not the
+    order resources first appear in the trace."""
+    a = Trace()
+    a.record("link:pcie", "x", "transfer", 0.0, 1.0)
+    a.record("dev:cpu", "k", "kernel", 0.0, 1.0)
+    b = Trace()
+    b.record("dev:cpu", "k", "kernel", 0.0, 1.0)
+    b.record("link:pcie", "x", "transfer", 0.0, 1.0)
+
+    def tid_map(doc):
+        return {
+            e["args"]["name"]: e["tid"]
+            for e in doc["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        }
+
+    expected = {"dev:cpu": 1, "link:pcie": 2}
+    assert tid_map(to_chrome_trace(a)) == expected
+    assert tid_map(to_chrome_trace(b)) == expected
