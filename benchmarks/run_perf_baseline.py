@@ -141,6 +141,58 @@ def bench_vectorised_lcg() -> float:
     return float(uniforms[:64].sum()) + seed / 2.0**46
 
 
+def bench_numerics_setup() -> float:
+    """Workload-setup numerics: CSR assembly, LCG stream, FT evolution.
+
+    These run inside every NPB functional setup, so they are the per-worker
+    hot path of a parallel experiment fleet.
+    """
+    import numpy as np
+
+    data, idx, ptr, size = numerics.make_poisson_csr(64)
+    uniforms, seed = numerics.vranlc(1 << 16, 271828183.0)
+    shape = (32, 32, 32)
+    u0 = uniforms[: 32 * 32 * 32].reshape(shape)
+    _, csum = numerics.ft_evolve(
+        np.fft.fftn(u0), numerics.ft_indexmap(shape), 1e-4, 2
+    )
+    return (
+        float(data.sum())
+        + float(idx[:128].sum())
+        + float(ptr[-1]) / size
+        + float(uniforms.sum())
+        + seed / 2.0**46
+        + csum.real * 1e3
+    )
+
+
+_SWEEP_PROFILE_DIR = None
+
+
+def bench_parallel_sweep() -> float:
+    """Process-pool fleet over two sweep experiments (12 + 6 units, 2 jobs).
+
+    The checksum folds every numeric table cell of the merged results, so
+    any scheduling/merging divergence from the serial reference changes it.
+    """
+    global _SWEEP_PROFILE_DIR
+    if _SWEEP_PROFILE_DIR is None:
+        # Shared warm profile cache across repeats, as in real fleet use.
+        _SWEEP_PROFILE_DIR = tempfile.mkdtemp(prefix="perf-baseline-sweep-")
+    from repro.bench.parallel import run_parallel
+
+    results = run_parallel(
+        ["fig3", "fig9"], fast=True, jobs=2, profile_dir=_SWEEP_PROFILE_DIR
+    )
+    total = 0.0
+    for res in results.values():
+        for row in res.rows:
+            for value in row.values():
+                if isinstance(value, (int, float)) and not isinstance(value, bool):
+                    total += float(value)
+    return total
+
+
 BENCHES = {
     "engine_event_throughput": bench_engine_event_throughput,
     "mapper_solve_8x4": bench_mapper_solve_8x4,
@@ -148,6 +200,8 @@ BENCHES = {
     "trace_query": bench_trace_query,
     "full_scheduled_epoch": bench_full_scheduled_epoch,
     "vectorised_lcg": bench_vectorised_lcg,
+    "numerics_setup": bench_numerics_setup,
+    "parallel_sweep": bench_parallel_sweep,
 }
 
 

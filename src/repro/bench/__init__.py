@@ -13,6 +13,22 @@ or through the pytest-benchmark suite in ``benchmarks/``.
 """
 
 from repro.bench.harness import ExperimentResult, format_table
-from repro.bench.figures import EXPERIMENTS, run_experiment
+from repro.bench.figures import (
+    EXPERIMENTS,
+    REGISTRY,
+    experiment_units,
+    merge_experiment_units,
+    run_experiment,
+    run_experiment_unit,
+)
 
-__all__ = ["ExperimentResult", "format_table", "EXPERIMENTS", "run_experiment"]
+__all__ = [
+    "ExperimentResult",
+    "format_table",
+    "EXPERIMENTS",
+    "REGISTRY",
+    "run_experiment",
+    "experiment_units",
+    "run_experiment_unit",
+    "merge_experiment_units",
+]

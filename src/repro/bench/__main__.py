@@ -2,7 +2,9 @@
 
 ``list`` shows the available experiments; ``all`` runs every one.  Fast
 mode (default) uses reduced problem classes/iterations; ``--full`` runs the
-paper-scale configurations of Section VI.
+paper-scale configurations of Section VI.  ``--jobs N`` fans the
+experiments' independent units across N worker processes (the results are
+identical to a serial run; ``--verify-serial`` asserts it).
 """
 
 from __future__ import annotations
@@ -33,6 +35,21 @@ def main(argv: Optional[List[str]] = None) -> int:
         action="store_true",
         help="paper-scale workloads (slower); default is a reduced fast mode",
     )
+    parser.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=1,
+        metavar="N",
+        help="fan independent experiment units across N processes "
+        "(default 1 = serial; results are identical either way)",
+    )
+    parser.add_argument(
+        "--verify-serial",
+        action="store_true",
+        help="after a parallel run, re-run serially and fail on any "
+        "difference (the determinism guarantee, enforced)",
+    )
     args = parser.parse_args(argv)
 
     if args.experiment == "list":
@@ -46,9 +63,36 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"unknown experiment(s): {unknown}; try 'list'", file=sys.stderr)
         return 2
 
+    fast = not args.full
+    if args.jobs != 1:
+        from repro.bench.parallel import run_parallel, verify_against_serial
+
+        t0 = time.time()
+        results = run_parallel(names, fast=fast, jobs=args.jobs)
+        wall = time.time() - t0
+        for name, result in results.items():
+            print(result.render())
+            print()
+        print(f"({len(names)} experiment(s) regenerated with "
+              f"--jobs {args.jobs} in {wall:.1f}s wall time)")
+        if args.verify_serial:
+            mismatches = verify_against_serial(results, fast=fast)
+            if mismatches:
+                print(
+                    f"parallel/serial mismatch in: {', '.join(mismatches)}",
+                    file=sys.stderr,
+                )
+                return 1
+            print("verified: parallel results identical to the serial run")
+        return 0
+
+    if args.verify_serial:
+        print("--verify-serial requires --jobs N (N != 1)", file=sys.stderr)
+        return 2
+
     for name in names:
         t0 = time.time()
-        result = run_experiment(name, fast=not args.full)
+        result = run_experiment(name, fast=fast)
         wall = time.time() - t0
         print(result.render())
         print(f"({name} regenerated in {wall:.1f}s wall time)\n")

@@ -5,6 +5,13 @@ returns an :class:`~repro.bench.harness.ExperimentResult`.  ``--full`` runs
 the paper-scale configurations: the Fig. 4 problem classes (BT.B, CG.C,
 EP.D, FT.A, MG.B, SP.C), four command queues, full NPB iteration counts.
 
+Each experiment is registered as a set of independent *units* — one
+configuration of a sweep (a benchmark, a queue count, a noise level, a
+policy) — plus a ``merge`` step that assembles unit payloads into the final
+table.  The serial path (:func:`run_experiment`) and the process-pool fleet
+(:mod:`repro.bench.parallel`) both execute exactly the same units in the
+same order, so a parallel run reproduces the serial tables bit-for-bit.
+
 Absolute times are simulated seconds on the modelled testbed and are *not*
 expected to match the paper's wall-clock numbers; the shape claims are
 (and are asserted by the test suite):
@@ -23,9 +30,13 @@ expected to match the paper's wall-clock numbers; the shape claims are
 
 from __future__ import annotations
 
+import atexit
 import math
+import os
+import shutil
 import tempfile
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.bench.harness import ExperimentResult
 from repro.core.flags import SchedulerConfig
@@ -35,17 +46,74 @@ from repro.workloads.npb import BENCHMARKS, get_benchmark
 from repro.workloads.npb.common import run_npb
 from repro.workloads.seismology import DEVICE_COMBOS, run_seismology
 
-__all__ = ["EXPERIMENTS", "run_experiment"]
+__all__ = [
+    "EXPERIMENTS",
+    "REGISTRY",
+    "Experiment",
+    "PROFILE_DIR_ENV",
+    "run_experiment",
+    "experiment_units",
+    "run_experiment_unit",
+    "merge_experiment_units",
+    "experiment_prewarm_specs",
+    "set_profile_dir",
+]
+
+# ---------------------------------------------------------------------------
+# Shared on-disk device-profile cache
+# ---------------------------------------------------------------------------
+#: Environment variable naming the harness-wide shared profile directory.
+#: When set, every harness process (and every worker of a parallel fleet)
+#: shares one device-profile cache instead of re-measuring per process.
+PROFILE_DIR_ENV = "MULTICL_PROFILE_DIR"
 
 #: Shared on-disk device-profile cache for a whole harness process.
 _PROFILE_DIR: Optional[str] = None
+#: Tempdir fallback we created ourselves (removed at interpreter exit).
+_PROFILE_DIR_OWNED: Optional[str] = None
+
+
+def _cleanup_profile_dir() -> None:
+    global _PROFILE_DIR_OWNED
+    if _PROFILE_DIR_OWNED is not None:
+        shutil.rmtree(_PROFILE_DIR_OWNED, ignore_errors=True)
+        _PROFILE_DIR_OWNED = None
+
+
+atexit.register(_cleanup_profile_dir)
 
 
 def _profile_dir() -> str:
-    global _PROFILE_DIR
+    """Resolve the shared profile-cache directory for this process.
+
+    Honors ``MULTICL_PROFILE_DIR``; otherwise falls back to a single
+    tempdir per process that is removed at exit (no leaked
+    ``multicl-profile-*`` directories).
+    """
+    global _PROFILE_DIR, _PROFILE_DIR_OWNED
     if _PROFILE_DIR is None:
-        _PROFILE_DIR = tempfile.mkdtemp(prefix="multicl-profile-")
+        env = os.environ.get(PROFILE_DIR_ENV)
+        if env:
+            os.makedirs(env, exist_ok=True)
+            _PROFILE_DIR = env
+        else:
+            _PROFILE_DIR = tempfile.mkdtemp(prefix="multicl-profile-")
+            _PROFILE_DIR_OWNED = _PROFILE_DIR
     return _PROFILE_DIR
+
+
+def set_profile_dir(path: Optional[str]) -> None:
+    """Pin the shared profile directory (``None`` re-resolves lazily).
+
+    Used by the parallel runner to point every worker at one cache.  An
+    owned tempdir fallback is cleaned up before repinning.
+    """
+    global _PROFILE_DIR
+    if path is not None and path != _PROFILE_DIR_OWNED:
+        _cleanup_profile_dir()
+    if path is not None:
+        os.makedirs(path, exist_ok=True)
+    _PROFILE_DIR = path
 
 
 #: Problem classes used in Fig. 4 (the largest fitting each device).
@@ -94,30 +162,39 @@ def _make_app(name: str, pc: str, queues: int, fast: bool, **kw):
 # ---------------------------------------------------------------------------
 # Fig. 3 — single-device CPU vs GPU
 # ---------------------------------------------------------------------------
-def fig3(fast: bool = True) -> ExperimentResult:
+def _fig3_units(fast: bool) -> List[Any]:
+    return list(_fig3_classes(fast).items())
+
+
+def _fig3_unit(key: Any, fast: bool) -> Dict[str, Any]:
+    name, pc = key
+    times = {}
+    for dev in ("cpu", "gpu0"):
+        run = run_npb(
+            _make_app(name, pc, 1, fast),
+            mode="manual",
+            devices=[dev],
+            profile_dir=_profile_dir(),
+        )
+        times[dev] = run.seconds
+    return {
+        "benchmark": name,
+        "class": pc,
+        "cpu_s": times["cpu"],
+        "gpu_s": times["gpu0"],
+        "gpu_over_cpu": times["gpu0"] / times["cpu"],
+        "paper_ratio": FIG3_PAPER_RATIOS[name],
+    }
+
+
+def _fig3_merge(fast: bool, payloads: List[Any]) -> ExperimentResult:
     res = ExperimentResult(
         name="fig3",
         title="Fig. 3: relative execution time of SNU-NPB on CPU vs GPU (CPU = 1)",
         columns=["benchmark", "class", "cpu_s", "gpu_s", "gpu_over_cpu", "paper_ratio"],
     )
-    for name, pc in _fig3_classes(fast).items():
-        times = {}
-        for dev in ("cpu", "gpu0"):
-            run = run_npb(
-                _make_app(name, pc, 1, fast),
-                mode="manual",
-                devices=[dev],
-                profile_dir=_profile_dir(),
-            )
-            times[dev] = run.seconds
-        res.add(
-            benchmark=name,
-            **{"class": pc},
-            cpu_s=times["cpu"],
-            gpu_s=times["gpu0"],
-            gpu_over_cpu=times["gpu0"] / times["cpu"],
-            paper_ratio=FIG3_PAPER_RATIOS[name],
-        )
+    for row in payloads:
+        res.add(**row)
     res.notes.append(
         "shape claim: every benchmark except EP is faster on the CPU; "
         "EP is faster on the GPU (ratio < 1)."
@@ -194,7 +271,52 @@ def table2(fast: bool = True) -> ExperimentResult:
 # ---------------------------------------------------------------------------
 # Fig. 4 — manual schedules vs AUTO_FIT (4 queues)
 # ---------------------------------------------------------------------------
-def fig4(fast: bool = True) -> ExperimentResult:
+def _fig4_units(fast: bool) -> List[Any]:
+    return list(_fig3_classes(fast).items())
+
+
+def _fig4_unit(key: Any, fast: bool) -> Dict[str, Any]:
+    name, pc = key
+    manual: Dict[str, float] = {}
+    for label, devs in FIG4_SCHEDULES.items():
+        run = run_npb(
+            _make_app(name, pc, 4, fast),
+            mode="manual",
+            devices=list(devs),
+            profile_dir=_profile_dir(),
+        )
+        manual[label] = run.seconds
+    auto = run_npb(
+        _make_app(name, pc, 4, fast), mode="auto", profile_dir=_profile_dir()
+    )
+    # The paper's overhead metric compares against the *ideal* mapping.
+    # AUTO_FIT may legitimately beat every showcased schedule (its
+    # search space is all 3^4 assignments), so the ideal is the better
+    # of (best showcased schedule, AUTO_FIT's own mapping run manually).
+    auto_devices = [auto.bindings[f"q{i}"] for i in range(4)]
+    replay = run_npb(
+        _make_app(name, pc, 4, fast),
+        mode="manual",
+        devices=auto_devices,
+        profile_dir=_profile_dir(),
+    )
+    ideal = min(min(manual.values()), replay.seconds)
+    bench_label = f"{name}.{pc}"
+    rows: List[Dict[str, Any]] = []
+    for label, secs in manual.items():
+        rows.append(
+            {"benchmark": bench_label, "schedule": label, "seconds": secs,
+             "overhead_pct": ""}
+        )
+    overhead = 100.0 * (auto.seconds - ideal) / ideal
+    rows.append(
+        {"benchmark": bench_label, "schedule": "Auto Fit",
+         "seconds": auto.seconds, "overhead_pct": overhead}
+    )
+    return {"rows": rows, "factor": max(overhead, 0.0) / 100.0 + 1.0}
+
+
+def _fig4_merge(fast: bool, payloads: List[Any]) -> ExperimentResult:
     res = ExperimentResult(
         name="fig4",
         title="Fig. 4: SNU-NPB-MD manual vs automatic scheduling "
@@ -202,43 +324,10 @@ def fig4(fast: bool = True) -> ExperimentResult:
         columns=["benchmark", "schedule", "seconds", "overhead_pct"],
     )
     overheads: List[float] = []
-    for name, pc in _fig3_classes(fast).items():
-        manual: Dict[str, float] = {}
-        for label, devs in FIG4_SCHEDULES.items():
-            run = run_npb(
-                _make_app(name, pc, 4, fast),
-                mode="manual",
-                devices=list(devs),
-                profile_dir=_profile_dir(),
-            )
-            manual[label] = run.seconds
-        auto = run_npb(
-            _make_app(name, pc, 4, fast), mode="auto", profile_dir=_profile_dir()
-        )
-        # The paper's overhead metric compares against the *ideal* mapping.
-        # AUTO_FIT may legitimately beat every showcased schedule (its
-        # search space is all 3^4 assignments), so the ideal is the better
-        # of (best showcased schedule, AUTO_FIT's own mapping run manually).
-        auto_devices = [auto.bindings[f"q{i}"] for i in range(4)]
-        replay = run_npb(
-            _make_app(name, pc, 4, fast),
-            mode="manual",
-            devices=auto_devices,
-            profile_dir=_profile_dir(),
-        )
-        ideal = min(min(manual.values()), replay.seconds)
-        bench_label = f"{name}.{pc}"
-        for label, secs in manual.items():
-            res.add(benchmark=bench_label, schedule=label, seconds=secs,
-                    overhead_pct="")
-        overhead = 100.0 * (auto.seconds - ideal) / ideal
-        overheads.append(max(overhead, 0.0) / 100.0 + 1.0)
-        res.add(
-            benchmark=bench_label,
-            schedule="Auto Fit",
-            seconds=auto.seconds,
-            overhead_pct=overhead,
-        )
+    for payload in payloads:
+        for row in payload["rows"]:
+            res.add(**row)
+        overheads.append(payload["factor"])
     geomean = (math.prod(overheads)) ** (1.0 / len(overheads)) - 1.0
     res.notes.append(
         f"geometric-mean AUTO_FIT overhead vs best manual schedule: "
@@ -250,24 +339,33 @@ def fig4(fast: bool = True) -> ExperimentResult:
 # ---------------------------------------------------------------------------
 # Fig. 5 — kernel distribution across devices under AUTO_FIT
 # ---------------------------------------------------------------------------
-def fig5(fast: bool = True) -> ExperimentResult:
+def _fig5_units(fast: bool) -> List[Any]:
+    return list(_fig3_classes(fast).items())
+
+
+def _fig5_unit(key: Any, fast: bool) -> Dict[str, Any]:
+    name, pc = key
+    run = run_npb(
+        _make_app(name, pc, 4, fast), mode="auto", profile_dir=_profile_dir()
+    )
+    dist = run.stats.kernel_distribution()
+    return {
+        "benchmark": f"{name}.{pc}",
+        "cpu_pct": 100.0 * dist.get("cpu", 0.0),
+        "gpu0_pct": 100.0 * dist.get("gpu0", 0.0),
+        "gpu1_pct": 100.0 * dist.get("gpu1", 0.0),
+    }
+
+
+def _fig5_merge(fast: bool, payloads: List[Any]) -> ExperimentResult:
     res = ExperimentResult(
         name="fig5",
         title="Fig. 5: distribution of SNU-NPB-MD kernels to devices "
         "(AUTO_FIT, 4 queues)",
         columns=["benchmark", "cpu_pct", "gpu0_pct", "gpu1_pct"],
     )
-    for name, pc in _fig3_classes(fast).items():
-        run = run_npb(
-            _make_app(name, pc, 4, fast), mode="auto", profile_dir=_profile_dir()
-        )
-        dist = run.stats.kernel_distribution()
-        res.add(
-            benchmark=f"{name}.{pc}",
-            cpu_pct=100.0 * dist.get("cpu", 0.0),
-            gpu0_pct=100.0 * dist.get("gpu0", 0.0),
-            gpu1_pct=100.0 * dist.get("gpu1", 0.0),
-        )
+    for row in payloads:
+        res.add(**row)
     res.notes.append(
         "shape claim: CPU receives the majority of kernels for all "
         "benchmarks except EP, whose kernels go (almost) entirely to GPUs "
@@ -283,7 +381,36 @@ def _ft_class(fast: bool) -> str:
     return "S" if fast else "A"
 
 
-def fig6(fast: bool = True) -> ExperimentResult:
+def _fig6_units(fast: bool) -> List[Any]:
+    return [1, 2, 4, 8]
+
+
+def _fig6_unit(key: Any, fast: bool) -> Dict[str, Any]:
+    q_count = key
+    pc = _ft_class(fast)
+    auto = run_npb(
+        _make_app("FT", pc, q_count, fast), mode="auto",
+        profile_dir=_profile_dir(),
+    )
+    # Ideal = the same mapping executed manually (no profiling).
+    devices = [auto.bindings[f"q{i}"] for i in range(q_count)]
+    ideal = run_npb(
+        _make_app("FT", pc, q_count, fast), mode="manual", devices=devices,
+        profile_dir=_profile_dir(),
+    )
+    app = _make_app("FT", pc, q_count, fast)
+    data_mb = (2 * app.slab_bytes + app.points_per_queue * 8) / 1e6
+    return {
+        "queues": q_count,
+        "data_per_queue_mb": data_mb,
+        "ideal_s": ideal.seconds,
+        "auto_s": auto.seconds,
+        "overhead_pct": 100.0 * (auto.seconds - ideal.seconds) / ideal.seconds,
+        "profile_transfer_s": auto.stats.profile_transfer_seconds,
+    }
+
+
+def _fig6_merge(fast: bool, payloads: List[Any]) -> ExperimentResult:
     res = ExperimentResult(
         name="fig6",
         title="Fig. 6: FT profiling (data-transfer) overhead vs queue count",
@@ -296,28 +423,8 @@ def fig6(fast: bool = True) -> ExperimentResult:
             "profile_transfer_s",
         ],
     )
-    pc = _ft_class(fast)
-    for q_count in (1, 2, 4, 8):
-        auto = run_npb(
-            _make_app("FT", pc, q_count, fast), mode="auto",
-            profile_dir=_profile_dir(),
-        )
-        # Ideal = the same mapping executed manually (no profiling).
-        devices = [auto.bindings[f"q{i}"] for i in range(q_count)]
-        ideal = run_npb(
-            _make_app("FT", pc, q_count, fast), mode="manual", devices=devices,
-            profile_dir=_profile_dir(),
-        )
-        app = _make_app("FT", pc, q_count, fast)
-        data_mb = (2 * app.slab_bytes + app.points_per_queue * 8) / 1e6
-        res.add(
-            queues=q_count,
-            data_per_queue_mb=data_mb,
-            ideal_s=ideal.seconds,
-            auto_s=auto.seconds,
-            overhead_pct=100.0 * (auto.seconds - ideal.seconds) / ideal.seconds,
-            profile_transfer_s=auto.stats.profile_transfer_seconds,
-        )
+    for row in payloads:
+        res.add(**row)
     res.notes.append(
         "shape claim: data per queue halves as queues double, and the "
         "profiling overhead (dominated by staging that data) falls with "
@@ -329,7 +436,39 @@ def fig6(fast: bool = True) -> ExperimentResult:
 # ---------------------------------------------------------------------------
 # Fig. 7 — effect of data caching on FT profiling overhead
 # ---------------------------------------------------------------------------
-def fig7(fast: bool = True) -> ExperimentResult:
+def _fig7_units(fast: bool) -> List[Any]:
+    return [1, 2, 4, 8]
+
+
+def _fig7_unit(key: Any, fast: bool) -> Dict[str, Any]:
+    q_count = key
+    pc = _ft_class(fast)
+    overheads = {}
+    for caching in (False, True):
+        cfg = SchedulerConfig(data_caching=caching)
+        auto = run_npb(
+            _make_app("FT", pc, q_count, fast), mode="auto", config=cfg,
+            profile_dir=_profile_dir(),
+        )
+        # The profiling data-transfer time itself (the quantity the
+        # paper's Fig. 7 normalises).  Post-mapping migrations are
+        # excluded: equally-optimal mappings can differ between the
+        # two configs and would add unrelated noise.
+        overheads[caching] = auto.stats.profile_transfer_seconds
+    reduction = (
+        100.0 * (overheads[False] - overheads[True]) / overheads[False]
+        if overheads[False] > 0
+        else 0.0
+    )
+    return {
+        "queues": q_count,
+        "without_caching_s": overheads[False],
+        "with_caching_s": overheads[True],
+        "reduction_pct": reduction,
+    }
+
+
+def _fig7_merge(fast: bool, payloads: List[Any]) -> ExperimentResult:
     res = ExperimentResult(
         name="fig7",
         title="Fig. 7: data caching's effect on FT profiling transfer overhead",
@@ -340,31 +479,8 @@ def fig7(fast: bool = True) -> ExperimentResult:
             "reduction_pct",
         ],
     )
-    pc = _ft_class(fast)
-    for q_count in (1, 2, 4, 8):
-        overheads = {}
-        for caching in (False, True):
-            cfg = SchedulerConfig(data_caching=caching)
-            auto = run_npb(
-                _make_app("FT", pc, q_count, fast), mode="auto", config=cfg,
-                profile_dir=_profile_dir(),
-            )
-            # The profiling data-transfer time itself (the quantity the
-            # paper's Fig. 7 normalises).  Post-mapping migrations are
-            # excluded: equally-optimal mappings can differ between the
-            # two configs and would add unrelated noise.
-            overheads[caching] = auto.stats.profile_transfer_seconds
-        reduction = (
-            100.0 * (overheads[False] - overheads[True]) / overheads[False]
-            if overheads[False] > 0
-            else 0.0
-        )
-        res.add(
-            queues=q_count,
-            without_caching_s=overheads[False],
-            with_caching_s=overheads[True],
-            reduction_pct=reduction,
-        )
+    for row in payloads:
+        res.add(**row)
     res.notes.append(
         "shape claim: caching profiled data on the host (1×D2H + (n-1)×H2D, "
         "copies kept) consistently cuts the scheduler's data-movement time "
@@ -379,7 +495,38 @@ def fig7(fast: bool = True) -> ExperimentResult:
 # ---------------------------------------------------------------------------
 # Fig. 8 — minikernel vs full-kernel profiling for EP
 # ---------------------------------------------------------------------------
-def fig8(fast: bool = True) -> ExperimentResult:
+def _fig8_units(fast: bool) -> List[Any]:
+    return list(("S", "W", "A") if fast else ("S", "W", "A", "B", "C", "D"))
+
+
+def _fig8_unit(key: Any, fast: bool) -> List[Dict[str, Any]]:
+    pc = key
+    ideal = run_npb(
+        _make_app("EP", pc, 1, fast), mode="manual", devices=["gpu0"],
+        profile_dir=_profile_dir(),
+    )
+    rows: List[Dict[str, Any]] = []
+    for label, allow_mini in (("minikernel", True), ("full kernel", False)):
+        cfg = SchedulerConfig(allow_minikernel=allow_mini)
+        auto = run_npb(
+            _make_app("EP", pc, 1, fast), mode="auto", config=cfg,
+            profile_dir=_profile_dir(),
+        )
+        rows.append(
+            {
+                "class": pc,
+                "mode": label,
+                "ideal_s": ideal.seconds,
+                "total_s": auto.seconds,
+                "profiling_overhead_pct": 100.0
+                * (auto.seconds - ideal.seconds)
+                / ideal.seconds,
+            }
+        )
+    return rows
+
+
+def _fig8_merge(fast: bool, payloads: List[Any]) -> ExperimentResult:
     res = ExperimentResult(
         name="fig8",
         title="Fig. 8: impact of minikernel profiling for EP",
@@ -391,27 +538,9 @@ def fig8(fast: bool = True) -> ExperimentResult:
             "profiling_overhead_pct",
         ],
     )
-    classes = ("S", "W", "A") if fast else ("S", "W", "A", "B", "C", "D")
-    for pc in classes:
-        ideal = run_npb(
-            _make_app("EP", pc, 1, fast), mode="manual", devices=["gpu0"],
-            profile_dir=_profile_dir(),
-        )
-        for label, allow_mini in (("minikernel", True), ("full kernel", False)):
-            cfg = SchedulerConfig(allow_minikernel=allow_mini)
-            auto = run_npb(
-                _make_app("EP", pc, 1, fast), mode="auto", config=cfg,
-                profile_dir=_profile_dir(),
-            )
-            res.add(
-                **{"class": pc},
-                mode=label,
-                ideal_s=ideal.seconds,
-                total_s=auto.seconds,
-                profiling_overhead_pct=100.0
-                * (auto.seconds - ideal.seconds)
-                / ideal.seconds,
-            )
+    for rows in payloads:
+        for row in rows:
+            res.add(**row)
     res.notes.append(
         "shape claim: full-kernel profiling costs ≈ the CPU/GPU ratio "
         "(up to ~20× for class D) and grows with class; minikernel "
@@ -423,28 +552,49 @@ def fig8(fast: bool = True) -> ExperimentResult:
 # ---------------------------------------------------------------------------
 # Fig. 9 — FDM-Seismology device combinations
 # ---------------------------------------------------------------------------
-def fig9(fast: bool = True) -> ExperimentResult:
+def _fig9_steps(fast: bool) -> int:
+    return 10 if fast else 100
+
+
+def _fig9_units(fast: bool) -> List[Any]:
+    units: List[Any] = []
+    for layout in ("column", "row"):
+        for combo in DEVICE_COMBOS:
+            units.append((layout, "manual", tuple(combo)))
+        for label, mode in (("Round Robin", "round_robin"),
+                            ("MultiCL Auto Fit", "auto")):
+            units.append((layout, mode, label))
+    return units
+
+
+def _fig9_unit(key: Any, fast: bool) -> Tuple[str, str, float]:
+    layout, mode, ident = key
+    steps = _fig9_steps(fast)
+    if mode == "manual":
+        combo = ident
+        label = f"({combo[0]},{combo[1]})"
+        run = run_seismology(
+            layout, mode="manual", devices=list(combo), steps=steps,
+            profile_dir=_profile_dir(),
+        )
+    else:
+        label = ident
+        run = run_seismology(
+            layout, mode=mode, steps=steps, profile_dir=_profile_dir()
+        )
+    return label, layout, run.seconds / steps * 1e3
+
+
+def _fig9_merge(fast: bool, payloads: List[Any]) -> ExperimentResult:
     res = ExperimentResult(
         name="fig9",
         title="Fig. 9: FDM-Seismology time per iteration (ms) across "
         "queue-device mappings",
         columns=["mapping", "column_major_ms", "row_major_ms"],
     )
-    steps = 10 if fast else 100
     rows: Dict[str, Dict[str, float]] = {}
-    for layout in ("column", "row"):
-        for combo in DEVICE_COMBOS:
-            label = f"({combo[0]},{combo[1]})"
-            run = run_seismology(
-                layout, mode="manual", devices=combo, steps=steps,
-                profile_dir=_profile_dir(),
-            )
-            rows.setdefault(label, {})[layout] = run.seconds / steps * 1e3
-        for label, mode in (("Round Robin", "round_robin"), ("MultiCL Auto Fit", "auto")):
-            run = run_seismology(
-                layout, mode=mode, steps=steps, profile_dir=_profile_dir()
-            )
-            rows.setdefault(label, {})[layout] = run.seconds / steps * 1e3
+    for label, layout, ms in payloads:
+        rows.setdefault(label, {})[layout] = ms
     for label, vals in rows.items():
         res.add(
             mapping=label,
@@ -530,50 +680,63 @@ def fig10(fast: bool = True) -> ExperimentResult:
 # ---------------------------------------------------------------------------
 # Ablations beyond the paper's figures
 # ---------------------------------------------------------------------------
-def ablations(fast: bool = True) -> ExperimentResult:
+def _ablations_units(fast: bool) -> List[Any]:
+    return [
+        ("trigger frequency", "per-epoch (default)"),
+        ("trigger frequency", "per-kernel"),
+        ("profile caching", "profile caching on"),
+        ("profile caching", "profile caching off"),
+        ("static vs dynamic", "dynamic (profiled)"),
+        ("static vs dynamic", "static (hint only)"),
+    ]
+
+
+def _ablations_unit(key: Any, fast: bool) -> Dict[str, Any]:
+    experiment, variant = key
+    pc = "W" if fast else "A"
+    if experiment == "trigger frequency":
+        # 1. Scheduler trigger frequency: per-epoch vs per-kernel.
+        cfg = SchedulerConfig(per_kernel_trigger=(variant == "per-kernel"))
+        run = run_npb(
+            _make_app("CG", pc, 4, fast), mode="auto", config=cfg,
+            profile_dir=_profile_dir(),
+        )
+    elif experiment == "profile caching":
+        # 2. Kernel-profile caching on/off (iterative workload).
+        cfg = SchedulerConfig(
+            profile_caching=(variant == "profile caching on")
+        )
+        run = run_npb(
+            _make_app("MG", pc, 4, fast), mode="auto", config=cfg,
+            profile_dir=_profile_dir(),
+        )
+    else:
+        # 3. Static (hint-only) vs dynamic scheduling: BT is compute-heavy
+        # but CPU-bound — a compute-bound *hint* sends it to the GPU
+        # (wrong), while dynamic profiling discovers the truth.
+        static_flags = (
+            SchedFlag.SCHED_AUTO_STATIC
+            | SchedFlag.SCHED_KERNEL_EPOCH
+            | SchedFlag.SCHED_COMPUTE_BOUND
+        )
+        kwargs = {} if variant == "dynamic (profiled)" else {
+            "auto_flags": static_flags
+        }
+        run = run_npb(
+            _make_app("BT", pc, 4, fast), mode="auto",
+            profile_dir=_profile_dir(), **kwargs,
+        )
+    return {"experiment": experiment, "variant": variant, "seconds": run.seconds}
+
+
+def _ablations_merge(fast: bool, payloads: List[Any]) -> ExperimentResult:
     res = ExperimentResult(
         name="ablations",
         title="Ablations: trigger frequency, profile caching, static hints",
         columns=["experiment", "variant", "seconds"],
     )
-    pc = "W" if fast else "A"
-    # 1. Scheduler trigger frequency: per-epoch vs per-kernel.
-    for label, cfg in (
-        ("per-epoch (default)", SchedulerConfig()),
-        ("per-kernel", SchedulerConfig(per_kernel_trigger=True)),
-    ):
-        run = run_npb(
-            _make_app("CG", pc, 4, fast), mode="auto", config=cfg,
-            profile_dir=_profile_dir(),
-        )
-        res.add(experiment="trigger frequency", variant=label, seconds=run.seconds)
-    # 2. Kernel-profile caching on/off (iterative workload).
-    for label, cfg in (
-        ("profile caching on", SchedulerConfig()),
-        ("profile caching off", SchedulerConfig(profile_caching=False)),
-    ):
-        run = run_npb(
-            _make_app("MG", pc, 4, fast), mode="auto", config=cfg,
-            profile_dir=_profile_dir(),
-        )
-        res.add(experiment="profile caching", variant=label, seconds=run.seconds)
-    # 3. Static (hint-only) vs dynamic scheduling: BT is compute-heavy but
-    # CPU-bound — a compute-bound *hint* sends it to the GPU (wrong), while
-    # dynamic profiling discovers the truth.
-    static_flags = (
-        SchedFlag.SCHED_AUTO_STATIC
-        | SchedFlag.SCHED_KERNEL_EPOCH
-        | SchedFlag.SCHED_COMPUTE_BOUND
-    )
-    for label, kwargs in (
-        ("dynamic (profiled)", {}),
-        ("static (hint only)", {"auto_flags": static_flags}),
-    ):
-        run = run_npb(
-            _make_app("BT", pc, 4, fast), mode="auto",
-            profile_dir=_profile_dir(), **kwargs,
-        )
-        res.add(experiment="static vs dynamic", variant=label, seconds=run.seconds)
+    for row in payloads:
+        res.add(**row)
     res.notes.append(
         "per-kernel triggering and disabled profile caching increase "
         "overhead; static hints are cheap but can pick the wrong device "
@@ -585,37 +748,41 @@ def ablations(fast: bool = True) -> ExperimentResult:
 # ---------------------------------------------------------------------------
 # Robustness: how much measurement error can the mapper absorb?
 # ---------------------------------------------------------------------------
-def robustness(fast: bool = True) -> ExperimentResult:
-    """Sweep deterministic noise on kernel-profiling measurements and check
-    whether AUTO_FIT still lands on the optimal mapping.
+def _robustness_units(fast: bool) -> List[Any]:
+    return [
+        (noise, layout)
+        for noise in (0.0, 0.05, 0.10, 0.20, 0.40)
+        for layout in ("column", "row")
+    ]
 
-    Not a paper figure — it probes the implicit assumption behind
-    Section V.A's 'run once per device' strategy: a single measurement is
-    enough *because* the device gaps (1.3×–20×, Fig. 3) dwarf run-to-run
-    variation.  The sweep quantifies that margin.
-    """
+
+def _robustness_unit(key: Any, fast: bool) -> Dict[str, Any]:
+    noise, layout = key
+    steps = 6 if fast else 30
+    optimal_sets = {"column": {"cpu"}, "row": {"gpu0", "gpu1"}}
+    cfg = SchedulerConfig(measurement_noise=noise)
+    run = run_seismology(
+        layout, mode="auto", steps=steps, config=cfg,
+        profile_dir=_profile_dir(),
+    )
+    chosen = set(run.bindings.values())
+    return {
+        "noise_pct": 100.0 * noise,
+        "layout": layout,
+        "mapping": ",".join(sorted(run.bindings.values())),
+        "optimal": chosen == optimal_sets[layout],
+        "seconds": run.seconds,
+    }
+
+
+def _robustness_merge(fast: bool, payloads: List[Any]) -> ExperimentResult:
     res = ExperimentResult(
         name="robustness",
         title="Measurement-noise robustness of AUTO_FIT mapping",
         columns=["noise_pct", "layout", "mapping", "optimal", "seconds"],
     )
-    steps = 6 if fast else 30
-    optimal_sets = {"column": {"cpu"}, "row": {"gpu0", "gpu1"}}
-    for noise in (0.0, 0.05, 0.10, 0.20, 0.40):
-        for layout in ("column", "row"):
-            cfg = SchedulerConfig(measurement_noise=noise)
-            run = run_seismology(
-                layout, mode="auto", steps=steps, config=cfg,
-                profile_dir=_profile_dir(),
-            )
-            chosen = set(run.bindings.values())
-            res.add(
-                noise_pct=100.0 * noise,
-                layout=layout,
-                mapping=",".join(sorted(run.bindings.values())),
-                optimal=chosen == optimal_sets[layout],
-                seconds=run.seconds,
-            )
+    for row in payloads:
+        res.add(**row)
     res.notes.append(
         "the device gaps in this workload (≈2.3-2.7x) tolerate substantial "
         "measurement error before the mapping flips — one profiling run "
@@ -627,10 +794,25 @@ def robustness(fast: bool = True) -> ExperimentResult:
 # ---------------------------------------------------------------------------
 # Baselines: epoch-granularity (MultiCL) vs kernel-granularity (SOCL-style)
 # ---------------------------------------------------------------------------
-def baselines(fast: bool = True) -> ExperimentResult:
-    """Runnable version of the paper's Section III.B contrast with SOCL.
+_BASELINE_POLICIES = (
+    "MultiCL AUTO_FIT (epochs)",
+    "SOCL-style (per kernel)",
+    "Round robin",
+)
 
-    Two workloads under three policies:
+
+def _baselines_units(fast: bool) -> List[Any]:
+    return [
+        (workload, policy_label)
+        for workload in ("coherent queues", "mixed queues")
+        for policy_label in _BASELINE_POLICIES
+    ]
+
+
+def _baselines_unit(key: Any, fast: bool) -> Dict[str, Any]:
+    """One (workload, policy) cell of the Section III.B SOCL contrast.
+
+    Two workload shapes under three policies:
 
     * **coherent queues** (the paper's regime — NPB and FDM-Seismology
       queues each hold kernels of one personality): epoch granularity
@@ -645,12 +827,13 @@ def baselines(fast: bool = True) -> ExperimentResult:
     from repro.core.runtime import MultiCL
     from repro.ocl.enums import ContextScheduler
 
-    res = ExperimentResult(
-        name="baselines",
-        title="Scheduling granularity: MultiCL epochs vs SOCL-style "
-        "per-kernel decisions",
-        columns=["workload", "policy", "seconds", "decisions", "migrations"],
-    )
+    workload, policy_label = key
+    mixed = workload == "mixed queues"
+    policy = {
+        "MultiCL AUTO_FIT (epochs)": ContextScheduler.AUTO_FIT,
+        "SOCL-style (per kernel)": KERNEL_GRANULARITY_POLICY,
+        "Round robin": ContextScheduler.ROUND_ROBIN,
+    }[policy_label]
     src = (
         "// @multicl flops_per_item=300 bytes_per_item=8 writes=1\n"
         "__kernel void gk(__global float* a, __global float* b, int n) { }\n"
@@ -661,62 +844,59 @@ def baselines(fast: bool = True) -> ExperimentResult:
     n = 1 << 18 if fast else 1 << 20
     rounds = 4 if fast else 12
 
-    def run_policy(policy, mixed: bool):
-        mcl = MultiCL(policy=policy, profile_dir=_profile_dir())
-        ctx = mcl.context
-        program = ctx.create_program(src).build()
-        queues = []
-        for qi in range(4):
-            gk = program.create_kernel("gk")
-            ck = program.create_kernel("ck")
-            a = ctx.create_buffer(4 * n)
-            b = ctx.create_buffer(4 * n)
-            a.mark_valid("host")
-            for k in (gk, ck):
-                k.set_arg(0, a)
-                k.set_arg(1, b)
-                k.set_arg(2, n)
-            q = mcl.queue(
-                flags=SchedFlag.SCHED_AUTO_DYNAMIC | SchedFlag.SCHED_KERNEL_EPOCH,
-                name=f"q{qi}",
-            )
-            if mixed:
-                for _ in range(rounds):
-                    q.enqueue_nd_range_kernel(gk, (n,), (64,))
-                    q.enqueue_nd_range_kernel(ck, (n,), (64,))
-            else:
-                # Coherent personality per queue (the paper's workloads).
-                kern = gk if qi % 2 == 0 else ck
-                for _ in range(2 * rounds):
-                    q.enqueue_nd_range_kernel(kern, (n,), (64,))
-            queues.append(q)
-        t0 = mcl.now
-        for q in queues:
-            q.finish()
-        sched = mcl.context.scheduler
-        decisions = getattr(sched, "decisions", None)
-        if decisions is None:
-            decisions = len(getattr(sched, "mapping_history", []))
-        return (
-            mcl.now - t0,
-            decisions,
-            mcl.engine.trace.count(category="migration"),
+    mcl = MultiCL(policy=policy, profile_dir=_profile_dir())
+    ctx = mcl.context
+    program = ctx.create_program(src).build()
+    queues = []
+    for qi in range(4):
+        gk = program.create_kernel("gk")
+        ck = program.create_kernel("ck")
+        a = ctx.create_buffer(4 * n)
+        b = ctx.create_buffer(4 * n)
+        a.mark_valid("host")
+        for k in (gk, ck):
+            k.set_arg(0, a)
+            k.set_arg(1, b)
+            k.set_arg(2, n)
+        q = mcl.queue(
+            flags=SchedFlag.SCHED_AUTO_DYNAMIC | SchedFlag.SCHED_KERNEL_EPOCH,
+            name=f"q{qi}",
         )
+        if mixed:
+            for _ in range(rounds):
+                q.enqueue_nd_range_kernel(gk, (n,), (64,))
+                q.enqueue_nd_range_kernel(ck, (n,), (64,))
+        else:
+            # Coherent personality per queue (the paper's workloads).
+            kern = gk if qi % 2 == 0 else ck
+            for _ in range(2 * rounds):
+                q.enqueue_nd_range_kernel(kern, (n,), (64,))
+        queues.append(q)
+    t0 = mcl.now
+    for q in queues:
+        q.finish()
+    sched = mcl.context.scheduler
+    decisions = getattr(sched, "decisions", None)
+    if decisions is None:
+        decisions = len(getattr(sched, "mapping_history", []))
+    return {
+        "workload": workload,
+        "policy": policy_label,
+        "seconds": mcl.now - t0,
+        "decisions": decisions,
+        "migrations": mcl.engine.trace.count(category="migration"),
+    }
 
-    for workload, mixed in (("coherent queues", False), ("mixed queues", True)):
-        for label, policy in (
-            ("MultiCL AUTO_FIT (epochs)", ContextScheduler.AUTO_FIT),
-            ("SOCL-style (per kernel)", KERNEL_GRANULARITY_POLICY),
-            ("Round robin", ContextScheduler.ROUND_ROBIN),
-        ):
-            secs, decisions, migrations = run_policy(policy, mixed)
-            res.add(
-                workload=workload,
-                policy=label,
-                seconds=secs,
-                decisions=decisions,
-                migrations=migrations,
-            )
+
+def _baselines_merge(fast: bool, payloads: List[Any]) -> ExperimentResult:
+    res = ExperimentResult(
+        name="baselines",
+        title="Scheduling granularity: MultiCL epochs vs SOCL-style "
+        "per-kernel decisions",
+        columns=["workload", "policy", "seconds", "decisions", "migrations"],
+    )
+    for row in payloads:
+        res.add(**row)
     res.notes.append(
         "coherent queues (the paper's regime): epoch batching matches "
         "per-kernel placement quality with far fewer scheduling decisions "
@@ -730,8 +910,16 @@ def baselines(fast: bool = True) -> ExperimentResult:
 # ---------------------------------------------------------------------------
 # Cluster mode: scheduling over remote accelerators (SnuCL cluster mode)
 # ---------------------------------------------------------------------------
-def cluster(fast: bool = True) -> ExperimentResult:
-    """Extension experiment: MultiCL over SnuCL's cluster mode.
+def _cluster_units(fast: bool) -> List[Any]:
+    return [
+        (workload, platform_label)
+        for workload in ("compute-heavy", "bandwidth-bound")
+        for platform_label in ("single node", "two-node cluster")
+    ]
+
+
+def _cluster_unit(key: Any, fast: bool) -> Dict[str, Any]:
+    """One (workload, platform) cell of the SnuCL cluster-mode extension.
 
     The paper (Section II.B) notes its optimisations "can be applied
     directly to the cluster mode as well"; this measures that claim on a
@@ -743,11 +931,7 @@ def cluster(fast: bool = True) -> ExperimentResult:
     from repro.core.runtime import MultiCL
     from repro.ocl.enums import ContextScheduler
 
-    res = ExperimentResult(
-        name="cluster",
-        title="MultiCL over SnuCL cluster mode: when are remote GPUs worth it?",
-        columns=["workload", "platform", "seconds", "remote_queues"],
-    )
+    workload, platform_label = key
     compute_src = (
         "// @multicl flops_per_item=2500 bytes_per_item=4 writes=1\n"
         "__kernel void crunch(__global float* a, __global float* b, int n) { }\n"
@@ -757,52 +941,55 @@ def cluster(fast: bool = True) -> ExperimentResult:
         "__kernel void stream3(__global float* a, __global float* b, int n) { }\n"
     )
     n = 1 << 20 if fast else 1 << 22
+    src, kname, queues, nbytes = {
+        "compute-heavy": (compute_src, "crunch", 6, 4 * n),
+        "bandwidth-bound": (stream_src, "stream3", 3, 64 << 20),
+    }[workload]
+    spec = None if platform_label == "single node" else two_node_cluster()
 
-    def pool(mcl: MultiCL, src: str, kname: str, queues: int, nbytes: int):
-        ctx = mcl.context
-        program = ctx.create_program(src).build()
-        qs = []
-        for i in range(queues):
-            k = program.create_kernel(kname)
-            a = ctx.create_buffer(nbytes)
-            b = ctx.create_buffer(nbytes)
-            a.mark_valid("host")
-            k.set_arg(0, a)
-            k.set_arg(1, b)
-            k.set_arg(2, n)
-            q = mcl.queue(
-                flags=SchedFlag.SCHED_AUTO_DYNAMIC | SchedFlag.SCHED_KERNEL_EPOCH,
-                name=f"q{i}",
-            )
-            for _ in range(4):
-                q.enqueue_nd_range_kernel(k, (n,), (128,))
-            qs.append(q)
-        t0 = mcl.now
-        for q in qs:
-            q.finish()
-        remote = sum(1 for q in qs if q.device.startswith("node1."))
-        return mcl.now - t0, remote
+    mcl = MultiCL(
+        node_spec=spec,
+        policy=ContextScheduler.AUTO_FIT,
+        profile_dir=_profile_dir(),
+    )
+    ctx = mcl.context
+    program = ctx.create_program(src).build()
+    qs = []
+    for i in range(queues):
+        k = program.create_kernel(kname)
+        a = ctx.create_buffer(nbytes)
+        b = ctx.create_buffer(nbytes)
+        a.mark_valid("host")
+        k.set_arg(0, a)
+        k.set_arg(1, b)
+        k.set_arg(2, n)
+        q = mcl.queue(
+            flags=SchedFlag.SCHED_AUTO_DYNAMIC | SchedFlag.SCHED_KERNEL_EPOCH,
+            name=f"q{i}",
+        )
+        for _ in range(4):
+            q.enqueue_nd_range_kernel(k, (n,), (128,))
+        qs.append(q)
+    t0 = mcl.now
+    for q in qs:
+        q.finish()
+    remote = sum(1 for q in qs if q.device.startswith("node1."))
+    return {
+        "workload": workload,
+        "platform": platform_label,
+        "seconds": mcl.now - t0,
+        "remote_queues": remote,
+    }
 
-    for workload, src, kname, queues, nbytes in (
-        ("compute-heavy", compute_src, "crunch", 6, 4 * n),
-        ("bandwidth-bound", stream_src, "stream3", 3, 64 << 20),
-    ):
-        for platform_label, spec in (
-            ("single node", None),
-            ("two-node cluster", two_node_cluster()),
-        ):
-            mcl = MultiCL(
-                node_spec=spec,
-                policy=ContextScheduler.AUTO_FIT,
-                profile_dir=_profile_dir(),
-            )
-            secs, remote = pool(mcl, src, kname, queues, nbytes)
-            res.add(
-                workload=workload,
-                platform=platform_label,
-                seconds=secs,
-                remote_queues=remote,
-            )
+
+def _cluster_merge(fast: bool, payloads: List[Any]) -> ExperimentResult:
+    res = ExperimentResult(
+        name="cluster",
+        title="MultiCL over SnuCL cluster mode: when are remote GPUs worth it?",
+        columns=["workload", "platform", "seconds", "remote_queues"],
+    )
+    for row in payloads:
+        res.add(**row)
     res.notes.append(
         "compute-heavy pools speed up by borrowing the remote GPUs; "
         "bandwidth-bound pools stay entirely on the root node (shipping "
@@ -817,6 +1004,12 @@ def cluster(fast: bool = True) -> ExperimentResult:
         "mode."
     )
     return res
+
+
+def _two_node_cluster_spec():
+    from repro.cluster import two_node_cluster
+
+    return two_node_cluster()
 
 
 # ---------------------------------------------------------------------------
@@ -852,28 +1045,166 @@ def loc(fast: bool = True) -> ExperimentResult:
     return res
 
 
-EXPERIMENTS = {
-    "fig3": (fig3, "Single-device CPU vs GPU relative times"),
-    "table1": (table1, "Proposed OpenCL extensions (introspected)"),
-    "table2": (table2, "Benchmark requirements and scheduler options"),
-    "fig4": (fig4, "Manual vs automatic scheduling, 4 queues"),
-    "fig5": (fig5, "Kernel distribution across devices"),
-    "fig6": (fig6, "FT profiling overhead vs queue count"),
-    "fig7": (fig7, "Data caching effect on FT profiling"),
-    "fig8": (fig8, "Minikernel profiling impact for EP"),
-    "fig9": (fig9, "FDM-Seismology device combinations"),
-    "fig10": (fig10, "FDM-Seismology per-iteration amortisation"),
-    "ablations": (ablations, "Design-choice ablations"),
-    "robustness": (robustness, "Measurement-noise robustness of the mapper"),
-    "cluster": (cluster, "MultiCL over SnuCL cluster mode (extension)"),
-    "baselines": (baselines, "Epoch vs per-kernel scheduling granularity (SOCL contrast)"),
-    "loc": (loc, "Lines of code changed per application"),
+# ---------------------------------------------------------------------------
+# Experiment registry: units + merge per experiment
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class Experiment:
+    """One registered experiment and its parallel decomposition.
+
+    ``units(fast)`` lists the experiment's independent configurations
+    (picklable keys); ``run_unit(key, fast)`` executes one of them and
+    returns a picklable payload; ``merge(fast, payloads)`` assembles the
+    payloads — in ``units`` order — into the final
+    :class:`ExperimentResult`.  ``extra_specs`` names node-spec factories
+    beyond the default testbed whose device profiles the parallel runner
+    prewarms before fanning out.
+    """
+
+    describe: str
+    units: Callable[[bool], List[Any]]
+    run_unit: Callable[[Any, bool], Any]
+    merge: Callable[[bool, List[Any]], ExperimentResult]
+    extra_specs: Tuple[Callable[[], Any], ...] = ()
+
+
+def _whole(fn: Callable[..., ExperimentResult]) -> Dict[str, Any]:
+    """Decomposition for experiments that run as a single unit."""
+    return {
+        "units": lambda fast: [None],
+        "run_unit": lambda key, fast: fn(fast=fast),
+        "merge": lambda fast, payloads: payloads[0],
+    }
+
+
+REGISTRY: Dict[str, Experiment] = {
+    "fig3": Experiment(
+        describe="Single-device CPU vs GPU relative times",
+        units=_fig3_units, run_unit=_fig3_unit, merge=_fig3_merge,
+    ),
+    "table1": Experiment(
+        describe="Proposed OpenCL extensions (introspected)", **_whole(table1),
+    ),
+    "table2": Experiment(
+        describe="Benchmark requirements and scheduler options",
+        **_whole(table2),
+    ),
+    "fig4": Experiment(
+        describe="Manual vs automatic scheduling, 4 queues",
+        units=_fig4_units, run_unit=_fig4_unit, merge=_fig4_merge,
+    ),
+    "fig5": Experiment(
+        describe="Kernel distribution across devices",
+        units=_fig5_units, run_unit=_fig5_unit, merge=_fig5_merge,
+    ),
+    "fig6": Experiment(
+        describe="FT profiling overhead vs queue count",
+        units=_fig6_units, run_unit=_fig6_unit, merge=_fig6_merge,
+    ),
+    "fig7": Experiment(
+        describe="Data caching effect on FT profiling",
+        units=_fig7_units, run_unit=_fig7_unit, merge=_fig7_merge,
+    ),
+    "fig8": Experiment(
+        describe="Minikernel profiling impact for EP",
+        units=_fig8_units, run_unit=_fig8_unit, merge=_fig8_merge,
+    ),
+    "fig9": Experiment(
+        describe="FDM-Seismology device combinations",
+        units=_fig9_units, run_unit=_fig9_unit, merge=_fig9_merge,
+    ),
+    "fig10": Experiment(
+        describe="FDM-Seismology per-iteration amortisation", **_whole(fig10),
+    ),
+    "ablations": Experiment(
+        describe="Design-choice ablations",
+        units=_ablations_units, run_unit=_ablations_unit,
+        merge=_ablations_merge,
+    ),
+    "robustness": Experiment(
+        describe="Measurement-noise robustness of the mapper",
+        units=_robustness_units, run_unit=_robustness_unit,
+        merge=_robustness_merge,
+    ),
+    "cluster": Experiment(
+        describe="MultiCL over SnuCL cluster mode (extension)",
+        units=_cluster_units, run_unit=_cluster_unit, merge=_cluster_merge,
+        extra_specs=(_two_node_cluster_spec,),
+    ),
+    "baselines": Experiment(
+        describe="Epoch vs per-kernel scheduling granularity (SOCL contrast)",
+        units=_baselines_units, run_unit=_baselines_unit,
+        merge=_baselines_merge,
+    ),
+    "loc": Experiment(
+        describe="Lines of code changed per application", **_whole(loc),
+    ),
 }
 
 
-def run_experiment(name: str, fast: bool = True) -> ExperimentResult:
+def _get(name: str) -> Experiment:
     try:
-        fn, _ = EXPERIMENTS[name]
+        return REGISTRY[name]
     except KeyError:
-        raise KeyError(f"unknown experiment {name!r}; have {sorted(EXPERIMENTS)}")
-    return fn(fast=fast)
+        raise KeyError(f"unknown experiment {name!r}; have {sorted(REGISTRY)}")
+
+
+def experiment_units(name: str, fast: bool = True) -> List[Any]:
+    """The experiment's independent unit keys, in canonical order."""
+    return _get(name).units(fast)
+
+
+def run_experiment_unit(name: str, key: Any, fast: bool = True) -> Any:
+    """Execute one unit of ``name``; returns its picklable payload."""
+    return _get(name).run_unit(key, fast)
+
+
+def merge_experiment_units(
+    name: str, fast: bool, payloads: Sequence[Any]
+) -> ExperimentResult:
+    """Assemble unit payloads (in :func:`experiment_units` order)."""
+    return _get(name).merge(fast, list(payloads))
+
+
+def experiment_prewarm_specs(name: str) -> Tuple[Optional[Callable[[], Any]], ...]:
+    """Node-spec factories whose device profiles the experiment needs.
+
+    ``None`` stands for the default testbed node.
+    """
+    return (None,) + _get(name).extra_specs
+
+
+def run_experiment(name: str, fast: bool = True) -> ExperimentResult:
+    exp = _get(name)
+    payloads = [exp.run_unit(key, fast) for key in exp.units(fast)]
+    return exp.merge(fast, payloads)
+
+
+def _composed(name: str) -> Callable[..., ExperimentResult]:
+    def fn(fast: bool = True) -> ExperimentResult:
+        return run_experiment(name, fast=fast)
+
+    fn.__name__ = name
+    fn.__qualname__ = name
+    fn.__doc__ = REGISTRY[name].describe
+    return fn
+
+
+#: Serial entry points for the decomposed sweep experiments (the
+#: single-unit experiments keep their hand-written functions above).
+fig3 = _composed("fig3")
+fig4 = _composed("fig4")
+fig5 = _composed("fig5")
+fig6 = _composed("fig6")
+fig7 = _composed("fig7")
+fig8 = _composed("fig8")
+fig9 = _composed("fig9")
+ablations = _composed("ablations")
+robustness = _composed("robustness")
+cluster = _composed("cluster")
+baselines = _composed("baselines")
+
+#: Backwards-compatible name → (callable, description) view of REGISTRY.
+EXPERIMENTS: Dict[str, Tuple[Callable[..., ExperimentResult], str]] = {
+    name: (globals()[name], exp.describe) for name, exp in REGISTRY.items()
+}

@@ -219,10 +219,15 @@ def get_or_measure(
     In practice "the runtime just reads the device profiles from the profile
     cache once at the beginning of the program" — only a first-ever run on a
     given node configuration pays for the benchmarks.
+
+    Retrieval is single-flight across processes: when several workers race
+    on a cold cache, one measures (charging *its* simulated engine, exactly
+    as a cold start costs in the paper) and the rest block on the store's
+    lock, then read the freshly written profile without re-measuring.
     """
-    cached = profile_store.load_profile_dict(platform.spec, cache_dir)
-    if cached is not None:
-        return DeviceProfile.from_dict(cached)
-    profile = measure(platform, noise=noise)
-    profile_store.save_profile_dict(platform.spec, profile.to_dict(), cache_dir)
-    return profile
+    payload, _computed = profile_store.load_or_compute(
+        platform.spec,
+        lambda: measure(platform, noise=noise).to_dict(),
+        cache_dir,
+    )
+    return DeviceProfile.from_dict(payload)

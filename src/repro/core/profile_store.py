@@ -16,12 +16,19 @@ microbenchmarks.
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
 import hashlib
 import json
 import os
+import tempfile
 from pathlib import Path
-from typing import Any, Dict, Optional
+from typing import Any, Callable, Dict, Iterator, Optional, Tuple
+
+try:  # POSIX; on platforms without fcntl the lock degrades to a no-op.
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None  # type: ignore[assignment]
 
 from repro.hardware.specs import NodeSpec
 
@@ -32,6 +39,7 @@ __all__ = [
     "cache_path",
     "load_profile_dict",
     "save_profile_dict",
+    "load_or_compute",
     "clear_cache",
 ]
 
@@ -138,16 +146,78 @@ def load_profile_dict(
 def save_profile_dict(
     spec: NodeSpec, payload: Dict[str, Any], cache_dir: Optional[str] = None
 ) -> Path:
-    """Persist a measured profile; returns the file path."""
+    """Persist a measured profile; returns the file path.
+
+    The write goes to a uniquely-named temporary file in the target
+    directory followed by an atomic rename, so concurrent writers cannot
+    corrupt each other's staging file and a concurrent reader only ever
+    sees a complete profile (or none).
+    """
     path = cache_path(spec, cache_dir)
     path.parent.mkdir(parents=True, exist_ok=True)
     payload = dict(payload)
     payload["fingerprint"] = node_fingerprint(spec)
-    tmp = path.with_suffix(".tmp")
-    with tmp.open("w") as fh:
-        json.dump(payload, fh, indent=1, sort_keys=True)
-    tmp.replace(path)
+    fd, tmp = tempfile.mkstemp(
+        prefix=path.name + ".", suffix=".tmp", dir=str(path.parent)
+    )
+    try:
+        with os.fdopen(fd, "w") as fh:
+            json.dump(payload, fh, indent=1, sort_keys=True)
+        os.replace(tmp, path)
+    except BaseException:
+        with contextlib.suppress(OSError):
+            os.unlink(tmp)
+        raise
     return path
+
+
+@contextlib.contextmanager
+def _locked(path: Path) -> Iterator[None]:
+    """Advisory cross-process lock guarding the profile at ``path``.
+
+    Implemented as ``flock`` on a sibling ``.lock`` file, which the kernel
+    releases automatically if the holder dies.  Degrades to a no-op where
+    ``fcntl`` is unavailable.
+    """
+    if fcntl is None:  # pragma: no cover - non-POSIX fallback
+        yield
+        return
+    path.parent.mkdir(parents=True, exist_ok=True)
+    lock_path = path.with_suffix(path.suffix + ".lock")
+    fd = os.open(str(lock_path), os.O_RDWR | os.O_CREAT, 0o644)
+    try:
+        fcntl.flock(fd, fcntl.LOCK_EX)
+        yield
+    finally:
+        with contextlib.suppress(OSError):
+            fcntl.flock(fd, fcntl.LOCK_UN)
+        os.close(fd)
+
+
+def load_or_compute(
+    spec: NodeSpec,
+    compute: Callable[[], Dict[str, Any]],
+    cache_dir: Optional[str] = None,
+) -> Tuple[Dict[str, Any], bool]:
+    """Single-flight cached profile retrieval.
+
+    Returns ``(payload, computed)`` where ``computed`` is True iff this
+    call ran ``compute``.  When N processes race on a cold cache, exactly
+    one measures: the first to take the lock computes and saves; the rest
+    block on the lock and then re-read the freshly written cache.
+    """
+    cached = load_profile_dict(spec, cache_dir)
+    if cached is not None:
+        return cached, False
+    path = cache_path(spec, cache_dir)
+    with _locked(path):
+        cached = load_profile_dict(spec, cache_dir)
+        if cached is not None:
+            return cached, False
+        payload = dict(compute())
+        payload["fingerprint"] = node_fingerprint(spec)
+        save_profile_dict(spec, payload, cache_dir)
+        return payload, True
 
 
 def clear_cache(spec: NodeSpec, cache_dir: Optional[str] = None) -> bool:

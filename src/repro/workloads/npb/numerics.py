@@ -80,11 +80,15 @@ def randlc(x: float, a: float = LCG_A) -> Tuple[float, float]:
 
 
 def vranlc(n: int, x: float, a: float = LCG_A) -> Tuple[np.ndarray, float]:
-    """Generate ``n`` successive uniforms; returns (array, new_seed)."""
-    out = np.empty(n, dtype=np.float64)
-    for i in range(n):
-        out[i], x = randlc(x, a)
-    return out, x
+    """Generate ``n`` successive uniforms; returns (array, new_seed).
+
+    Delegates to :func:`vranlc_fast` — bit-for-bit the same stream as
+    chaining :func:`randlc` (which remains the scalar reference the test
+    suite cross-checks against), without the O(n) Python loop.
+    """
+    if n == 0:
+        return np.empty(0, dtype=np.float64), x
+    return vranlc_fast(n, x, a)
 
 
 def _mul46(x: np.ndarray, a: float) -> np.ndarray:
@@ -188,29 +192,29 @@ def make_poisson_csr(n: int) -> Tuple[np.ndarray, np.ndarray, np.ndarray, int]:
     if n < 2:
         raise ValueError("grid must be at least 2x2")
     size = n * n
-    data: List[float] = []
-    indices: List[int] = []
-    indptr = [0]
-    for i in range(n):
-        for j in range(n):
-            row = i * n + j
-            entries = [(row, 4.0)]
-            if i > 0:
-                entries.append((row - n, -1.0))
-            if i < n - 1:
-                entries.append((row + n, -1.0))
-            if j > 0:
-                entries.append((row - 1, -1.0))
-            if j < n - 1:
-                entries.append((row + 1, -1.0))
-            for col, v in sorted(entries):
-                indices.append(col)
-                data.append(v)
-            indptr.append(len(data))
+    # Per row the column-sorted stencil is always (row-n, row-1, row,
+    # row+1, row+n) with the off-grid neighbours dropped, so the whole
+    # matrix assembles as one masked (size, 5) candidate table — boolean
+    # masking flattens row-major, preserving the per-row sorted order the
+    # scalar assembly produced.
+    ij = np.arange(n)
+    ii = np.repeat(ij, n)
+    jj = np.tile(ij, n)
+    rows = np.arange(size, dtype=np.int64)
+    cand = np.stack([rows - n, rows - 1, rows, rows + 1, rows + n], axis=1)
+    vals = np.broadcast_to(
+        np.array([-1.0, -1.0, 4.0, -1.0, -1.0]), cand.shape
+    )
+    valid = np.stack(
+        [ii > 0, jj > 0, np.ones(size, dtype=bool), jj < n - 1, ii < n - 1],
+        axis=1,
+    )
+    indptr = np.zeros(size + 1, dtype=np.int64)
+    np.cumsum(valid.sum(axis=1), out=indptr[1:])
     return (
-        np.asarray(data, dtype=np.float64),
-        np.asarray(indices, dtype=np.int64),
-        np.asarray(indptr, dtype=np.int64),
+        np.ascontiguousarray(vals[valid], dtype=np.float64),
+        np.ascontiguousarray(cand[valid], dtype=np.int64),
+        indptr,
         size,
     )
 
@@ -278,12 +282,8 @@ def ft_evolve(
     u1_hat = u0_hat * decay
     x = np.fft.ifftn(u1_hat)
     nx, ny, nz = x.shape
-    csum = 0.0 + 0.0j
-    for j in range(1, 1025):
-        q = j % nx
-        r = (3 * j) % ny
-        s = (5 * j) % nz
-        csum += x[q, r, s]
+    j = np.arange(1, 1025)
+    csum = complex(x[j % nx, (3 * j) % ny, (5 * j) % nz].sum())
     return x, csum / (nx * ny * nz)
 
 

@@ -113,6 +113,34 @@ def test_poisson_rejects_tiny():
         N.make_poisson_csr(1)
 
 
+def test_poisson_csr_matches_scalar_assembly():
+    """The vectorised assembly reproduces the original per-row scalar
+    loop bit-for-bit, including the sorted-column entry order."""
+    for n in (2, 3, 5, 8, 17):
+        data, idx, ptr, size = N.make_poisson_csr(n)
+        ref_data, ref_idx, ref_ptr = [], [], [0]
+        for i in range(n):
+            for j in range(n):
+                row = i * n + j
+                entries = [(row, 4.0)]
+                if i > 0:
+                    entries.append((row - n, -1.0))
+                if i < n - 1:
+                    entries.append((row + n, -1.0))
+                if j > 0:
+                    entries.append((row - 1, -1.0))
+                if j < n - 1:
+                    entries.append((row + 1, -1.0))
+                for col, v in sorted(entries):
+                    ref_idx.append(col)
+                    ref_data.append(v)
+                ref_ptr.append(len(ref_data))
+        assert size == n * n
+        assert np.array_equal(data, np.asarray(ref_data)), n
+        assert np.array_equal(idx, np.asarray(ref_idx)), n
+        assert np.array_equal(ptr, np.asarray(ref_ptr)), n
+
+
 def test_csr_matvec_matches_dense():
     n = 6
     data, idx, ptr, size = N.make_poisson_csr(n)
@@ -195,6 +223,22 @@ def test_ft_checksum_deterministic():
     _, c1 = N.ft_evolve(u0_hat, im, 1e-5, 2)
     _, c2 = N.ft_evolve(u0_hat, im, 1e-5, 2)
     assert c1 == c2
+
+
+def test_ft_checksum_matches_sequential_gather():
+    """The vectorised checksum gather agrees with NPB's sequential
+    accumulation (pairwise vs running summation: ulp-level tolerance)."""
+    rng = np.random.default_rng(7)
+    shape = (16, 8, 4)
+    u0_hat = np.fft.fftn(rng.standard_normal(shape))
+    im = N.ft_indexmap(shape)
+    x, csum = N.ft_evolve(u0_hat, im, 1e-5, 3)
+    nx, ny, nz = shape
+    ref = 0.0 + 0.0j
+    for j in range(1, 1025):
+        ref += x[j % nx, (3 * j) % ny, (5 * j) % nz]
+    ref /= nx * ny * nz
+    assert csum == pytest.approx(ref, rel=1e-12)
 
 
 # ---------------------------------------------------------------------------
@@ -322,9 +366,19 @@ def test_adi_stable_for_any_dt(dt):
 # ---------------------------------------------------------------------------
 # Vectorised LCG
 # ---------------------------------------------------------------------------
+def _scalar_chain(n, seed):
+    """Reference stream: chain the scalar randlc (vranlc delegates to the
+    vectorised path, so the cross-check must not go through it)."""
+    out = np.empty(n, dtype=np.float64)
+    x = seed
+    for i in range(n):
+        out[i], x = N.randlc(x)
+    return out, x
+
+
 def test_vranlc_fast_matches_scalar_exactly():
     for n in (1, 2, 3, 100, 1000):
-        ref, ref_end = N.vranlc(n, 271828183.0)
+        ref, ref_end = _scalar_chain(n, 271828183.0)
         fast, fast_end = N.vranlc_fast(n, 271828183.0)
         assert np.array_equal(ref, fast), n
         assert ref_end == fast_end, n
@@ -336,10 +390,23 @@ def test_vranlc_fast_matches_scalar_exactly():
 )
 @settings(max_examples=20, deadline=None)
 def test_vranlc_fast_bit_exact_property(n, seed):
-    ref, ref_end = N.vranlc(n, float(seed))
+    ref, ref_end = _scalar_chain(n, float(seed))
     fast, fast_end = N.vranlc_fast(n, float(seed))
     assert np.array_equal(ref, fast)
     assert ref_end == fast_end
+
+
+def test_vranlc_delegates_to_fast_path():
+    ref, ref_end = _scalar_chain(500, 314159265.0)
+    vec, end = N.vranlc(500, 314159265.0)
+    assert np.array_equal(vec, ref)
+    assert end == ref_end
+
+
+def test_vranlc_zero_length():
+    vec, end = N.vranlc(0, 314159265.0)
+    assert vec.size == 0 and vec.dtype == np.float64
+    assert end == 314159265.0
 
 
 def test_vranlc_fast_rejects_nonpositive():

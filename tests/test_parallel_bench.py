@@ -1,0 +1,126 @@
+"""Parallel experiment fleet: registry decomposition, determinism vs the
+serial reference, profile-cache prewarming, and the CLI flags."""
+
+import pytest
+
+from repro.bench import figures
+from repro.bench.__main__ import main as bench_main
+from repro.bench.figures import EXPERIMENTS, REGISTRY, run_experiment
+from repro.bench.parallel import (
+    default_jobs,
+    prewarm_profile_cache,
+    run_parallel,
+)
+
+#: Cheap experiments covering single-unit, multi-unit NPB, multi-row
+#: payloads, and the out-of-order-mergeable fig9 grid.
+CHEAP = ["fig3", "fig9", "loc"]
+
+
+@pytest.fixture()
+def shared_profile_dir(tmp_path):
+    """Pin the harness profile cache to a per-test dir; restore after."""
+    figures.set_profile_dir(str(tmp_path))
+    yield str(tmp_path)
+    figures.set_profile_dir(None)
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+def test_registry_covers_every_experiment():
+    assert set(REGISTRY) == set(EXPERIMENTS)
+    for name, exp in REGISTRY.items():
+        units = exp.units(True)
+        assert units, f"{name} declares no units"
+        assert len(units) == len(set(map(repr, units))), f"{name} dup units"
+
+
+def test_sweep_experiments_decompose_into_multiple_units():
+    # The sweeps the tentpole names must actually fan out.
+    for name in ("fig4", "fig6", "ablations", "baselines"):
+        assert len(figures.experiment_units(name, True)) > 1
+
+
+def test_prewarm_specs_include_cluster_extra():
+    assert len(figures.experiment_prewarm_specs("cluster")) == 2
+    assert figures.experiment_prewarm_specs("fig3") == (None,)
+
+
+def test_manual_unit_composition_equals_run_experiment(shared_profile_dir):
+    name = "fig3"
+    # Warm the cache first: a cold first unit pays the device-profiling
+    # charge on its engine, shifting its timestamps relative to a warm
+    # rerun (the drift prewarming exists to eliminate).
+    prewarm_profile_cache([name], shared_profile_dir)
+    payloads = [
+        figures.run_experiment_unit(name, key, True)
+        for key in figures.experiment_units(name, True)
+    ]
+    composed = figures.merge_experiment_units(name, True, payloads)
+    assert composed == run_experiment(name, fast=True)
+
+
+# ---------------------------------------------------------------------------
+# Parallel == serial (the determinism guarantee)
+# ---------------------------------------------------------------------------
+def test_parallel_results_identical_to_serial(shared_profile_dir):
+    parallel = run_parallel(CHEAP, fast=True, jobs=4,
+                            profile_dir=shared_profile_dir)
+    assert list(parallel) == CHEAP
+    for name in CHEAP:
+        serial = run_experiment(name, fast=True)
+        assert parallel[name] == serial, name
+
+
+def test_jobs1_runs_the_same_unit_schedule(shared_profile_dir):
+    inproc = run_parallel(["fig9"], fast=True, jobs=1,
+                          profile_dir=shared_profile_dir)
+    assert inproc["fig9"] == run_experiment("fig9", fast=True)
+
+
+def test_fig9_merge_preserves_row_order(shared_profile_dir):
+    result = run_parallel(["fig9"], fast=True, jobs=2,
+                          profile_dir=shared_profile_dir)["fig9"]
+    serial = run_experiment("fig9", fast=True)
+    assert [r["mapping"] for r in result.rows] == [
+        r["mapping"] for r in serial.rows
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Prewarming
+# ---------------------------------------------------------------------------
+def test_prewarm_charges_once_then_platforms_boot_warm(tmp_path):
+    from repro.ocl.platform import Platform
+
+    warmed = prewarm_profile_cache(["fig3"], str(tmp_path))
+    assert len(warmed) == 1
+    platform = Platform(profile=True, profile_dir=str(tmp_path))
+    assert platform.engine.now == 0.0  # warm cache: no simulated charge
+
+
+def test_prewarm_cluster_warms_both_specs(tmp_path):
+    warmed = prewarm_profile_cache(["cluster"], str(tmp_path))
+    assert len(warmed) == 2
+
+
+def test_default_jobs_positive():
+    assert default_jobs() >= 1
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+def test_cli_jobs_with_verify_serial(shared_profile_dir, capsys):
+    assert bench_main(["fig9", "--jobs", "2", "--verify-serial"]) == 0
+    out = capsys.readouterr().out
+    assert "identical to the serial run" in out
+
+
+def test_cli_verify_serial_requires_jobs(capsys):
+    assert bench_main(["fig9", "--verify-serial"]) == 2
+
+
+def test_cli_rejects_unknown_experiment_in_parallel(capsys):
+    assert bench_main(["nope", "--jobs", "2"]) == 2
