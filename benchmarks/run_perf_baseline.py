@@ -193,6 +193,59 @@ def bench_parallel_sweep() -> float:
     return total
 
 
+_TENANT_PROFILE_DIR = None
+
+
+def bench_tenant_service() -> float:
+    """Multi-tenant arbitration throughput: 6 tenants × 2 queues, 40 rounds.
+
+    Exercises the service hot path — pool cost estimation, weighted DRR
+    rounds, telemetry folding — under sustained backlog.  The checksum
+    folds final virtual time with every tenant's device-seconds, so any
+    arbitration-order or accounting change shows up.
+    """
+    global _TENANT_PROFILE_DIR
+    if _TENANT_PROFILE_DIR is None:
+        _TENANT_PROFILE_DIR = tempfile.mkdtemp(prefix="perf-baseline-tenant-")
+    from repro.ocl.enums import ContextScheduler, SchedFlag
+    from repro.service import SchedulingService
+
+    src = (
+        "// @multicl flops_per_item=150 bytes_per_item=8 writes=0\n"
+        "__kernel void k(__global float* a, int n) { }"
+    )
+    n = 1 << 14
+    svc = SchedulingService(profile_dir=_TENANT_PROFILE_DIR)
+    clients = []
+    for i in range(6):
+        s = svc.create_session(
+            f"tenant{i}", weight=float(1 + i % 3),
+            policy=ContextScheduler.ROUND_ROBIN,
+        )
+        prog = s.create_program(src).build()
+        pairs = []
+        for j in range(2):
+            kern = prog.create_kernel("k")
+            buf = s.create_buffer(4 * n)
+            kern.set_arg(0, buf)
+            kern.set_arg(1, n)
+            q = s.create_queue(sched_flags=SchedFlag.SCHED_AUTO_DYNAMIC)
+            pairs.append((kern, q))
+        clients.append((s, pairs))
+    for _ in range(40):
+        for s, pairs in clients:
+            if not s.pending_queues():
+                for kern, q in pairs:
+                    q.enqueue_nd_range_kernel(kern, (n,), (64,))
+        svc.trigger()
+        svc.run_until_idle()
+    svc.drain()
+    total = svc.now
+    for i in range(6):
+        total += svc.telemetry.device_seconds(f"tenant{i}")
+    return total
+
+
 BENCHES = {
     "engine_event_throughput": bench_engine_event_throughput,
     "mapper_solve_8x4": bench_mapper_solve_8x4,
@@ -202,6 +255,7 @@ BENCHES = {
     "vectorised_lcg": bench_vectorised_lcg,
     "numerics_setup": bench_numerics_setup,
     "parallel_sweep": bench_parallel_sweep,
+    "tenant_service": bench_tenant_service,
 }
 
 

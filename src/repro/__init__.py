@@ -13,6 +13,9 @@ Layers (bottom-up):
 * :mod:`repro.core` — MultiCL itself: device profiler, kernel profiler
   (minikernel + data caching + profile caching), exact device mapper, and
   the ROUND_ROBIN / AUTO_FIT global policies;
+* :mod:`repro.service` — a multi-tenant scheduling service over one shared
+  fleet: admission control, weighted fair-share arbitration across tenant
+  sessions, and per-tenant utilization telemetry;
 * :mod:`repro.workloads` — SNU-NPB-MD-style benchmarks and the
   FDM-Seismology application used in the paper's evaluation;
 * :mod:`repro.bench` — the experiment harness regenerating every table and
@@ -69,6 +72,14 @@ from repro.ocl import (
     SchedFlag,
     get_platforms,
 )
+from repro.service import (
+    AdmissionError,
+    QuotaExceeded,
+    SchedulingService,
+    TenantQuota,
+    TenantSession,
+    TenantTelemetry,
+)
 
 __version__ = "1.0.0"
 
@@ -112,5 +123,11 @@ __all__ = [
     "ContextProperty",
     "ContextScheduler",
     "DeviceType",
+    "SchedulingService",
+    "TenantSession",
+    "TenantQuota",
+    "TenantTelemetry",
+    "AdmissionError",
+    "QuotaExceeded",
     "__version__",
 ]

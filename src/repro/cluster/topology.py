@@ -79,19 +79,23 @@ class SimCluster(SimNode):
         deps: Optional[Sequence[SimTask]] = None,
         category: str = "transfer",
         name: str = "h2d",
+        meta: Optional[dict] = None,
     ) -> SimTask:
         node_idx = self._node_of(device)
         if node_idx == 0:
-            return super().submit_h2d(device, nbytes, deps, category, name)
+            return super().submit_h2d(device, nbytes, deps, category, name, meta)
+        info = {"device": device, "bytes": nbytes, "direction": "net-out"}
+        if meta:
+            info.update(meta)
         net = self.engine.task(
             name=f"{name}:net->node{node_idx}",
             duration=self._net_seconds(nbytes),
             resource=self.nics[node_idx],
             deps=list(deps or []),
             category=category,
-            meta={"device": device, "bytes": nbytes, "direction": "net-out"},
+            meta=info,
         )
-        return super().submit_h2d(device, nbytes, [net], category, name)
+        return super().submit_h2d(device, nbytes, [net], category, name, meta)
 
     def submit_d2h(
         self,
@@ -100,18 +104,22 @@ class SimCluster(SimNode):
         deps: Optional[Sequence[SimTask]] = None,
         category: str = "transfer",
         name: str = "d2h",
+        meta: Optional[dict] = None,
     ) -> SimTask:
         node_idx = self._node_of(device)
         if node_idx == 0:
-            return super().submit_d2h(device, nbytes, deps, category, name)
-        pcie = super().submit_d2h(device, nbytes, deps, category, name)
+            return super().submit_d2h(device, nbytes, deps, category, name, meta)
+        pcie = super().submit_d2h(device, nbytes, deps, category, name, meta)
+        info = {"device": device, "bytes": nbytes, "direction": "net-in"}
+        if meta:
+            info.update(meta)
         return self.engine.task(
             name=f"{name}:net<-node{node_idx}",
             duration=self._net_seconds(nbytes),
             resource=self.nics[node_idx],
             deps=[pcie],
             category=category,
-            meta={"device": device, "bytes": nbytes, "direction": "net-in"},
+            meta=info,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

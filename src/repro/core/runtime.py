@@ -85,22 +85,34 @@ class RunStats:
         replays = 0
         downtime = 0.0
         for iv in trace:
-            if not (t0 <= iv.start < t1):
+            # Clip every interval to [t0, t1) and credit only the in-window
+            # seconds (mirrors utilization_report): an interval straddling
+            # either edge contributes exactly its overlap, one entirely
+            # outside contributes nothing.  Zero-duration instants (remap /
+            # replay / failure markers) stay visible when they fall inside
+            # the window.
+            overlap = min(iv.end, t1) - max(iv.start, t0)
+            instant = iv.start == iv.end and t0 <= iv.start < t1
+            if overlap < 0.0 or (overlap == 0.0 and not instant):
                 continue
-            by_cat[iv.category] = by_cat.get(iv.category, 0.0) + iv.duration
+            by_cat[iv.category] = by_cat.get(iv.category, 0.0) + overlap
             if iv.category == "kernel" and iv.resource.startswith("dev:"):
                 dev = iv.resource[len("dev:"):]
-                ksec[dev] = ksec.get(dev, 0.0) + iv.duration
-                kcnt[dev] = kcnt.get(dev, 0) + 1
+                ksec[dev] = ksec.get(dev, 0.0) + overlap
+                # Counts keep start-based ownership so a kernel straddling a
+                # window boundary is counted in exactly one window.
+                if t0 <= iv.start < t1:
+                    kcnt[dev] = kcnt.get(dev, 0) + 1
             elif iv.category == FAULT_CATEGORY:
-                downtime += iv.duration
+                downtime += overlap
             elif iv.category == RECOVERY_CATEGORY:
-                downtime += iv.duration
-                op = iv.meta.get("op")
-                if op == "remap":
-                    remaps += 1
-                elif op == "replay":
-                    replays += 1
+                downtime += overlap
+                if t0 <= iv.start < t1:
+                    op = iv.meta.get("op")
+                    if op == "remap":
+                        remaps += 1
+                    elif op == "replay":
+                        replays += 1
         return RunStats(
             duration=t1 - t0,
             by_category=by_cat,
@@ -198,12 +210,26 @@ class MultiCL:
         """Arm ``plan`` on this runtime; events fire as virtual time passes.
 
         Reuses one injector across calls so failure/replay/remap counters
-        accumulate over the whole run.
+        accumulate over the whole run.  A re-arm passing a different
+        ``policy`` switches the existing injector to it (the new knobs
+        govern recovery from that point on) and warns, so a conflicting
+        policy is never silently dropped.
         """
         if self.injector is None:
             self.injector = FaultInjector(
                 self.context, policy or self.fault_policy
             )
+        elif policy is not None and policy != self.injector.policy:
+            import warnings
+
+            warnings.warn(
+                f"inject_faults re-armed with a different FaultPolicy; "
+                f"replacing {self.injector.policy} with {policy} for all "
+                f"subsequent recoveries",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            self.injector.policy = policy
         self.injector.arm(plan)
         return self.injector
 

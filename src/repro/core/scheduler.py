@@ -88,10 +88,31 @@ class MultiCLSchedulerBase(SchedulerBase):
         if self.config.per_kernel_trigger and command.is_kernel:
             # High-frequency mode: schedule immediately on every kernel
             # (the costly alternative discussed in Section V.A).  This
-            # bypasses Context._sync_pending, so the sanitizer hook runs
-            # here to keep "every scheduler trigger" covered.
-            self.context._sanitize_check([queue])
-            self.on_sync([queue], trigger_queue=queue)
+            # bypasses Context._sync_pending, so the arbitration and
+            # sanitizer hooks run here to keep "every scheduler trigger"
+            # covered — in service mode the per-kernel trigger is still a
+            # fair-share arbitration point.
+            arbiter = self.context.arbiter
+            if arbiter is not None:
+                arbiter.on_trigger(self.context, [queue], queue)
+            else:
+                self.dispatch([queue], trigger_queue=queue)
+
+    # -- arbitration hook ---------------------------------------------------
+    def dispatch(
+        self,
+        pool: Sequence["CommandQueue"],
+        trigger_queue: Optional["CommandQueue"] = None,
+    ) -> None:
+        """Map and issue one ready pool on behalf of an external arbiter.
+
+        This is the multi-tenant service entry point: the arbiter decides
+        *when* a tenant's pool runs; the tenant's own policy decides *where*
+        (the usual AUTO_FIT / ROUND_ROBIN mapping).  The sanitizer hook runs
+        here so arbitrated dispatches stay covered.
+        """
+        self.context._sanitize_check(pool)
+        self.on_sync(pool, trigger_queue)
 
     # -- fault handling ----------------------------------------------------
     def on_device_failure(self, device: str) -> None:

@@ -69,16 +69,20 @@ class SimDevice:
         deps: Optional[Sequence[SimTask]] = None,
         category: str = "transfer",
         name: str = "d2d-local",
+        meta: Optional[dict] = None,
     ) -> SimTask:
         """A copy within device memory (charged at device bandwidth)."""
         duration = nbytes / (self.spec.mem_bandwidth_gbs * GB) * self.slowdown
+        info = {"device": self.name, "bytes": nbytes, "direction": "local"}
+        if meta:
+            info.update(meta)
         return self.engine.task(
             name=f"{name}@{self.name}",
             duration=duration,
             resource=self.resource,
             deps=list(deps or []),
             category=category,
-            meta={"device": self.name, "bytes": nbytes, "direction": "local"},
+            meta=info,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -145,17 +149,21 @@ class SimNode:
         deps: Optional[Sequence[SimTask]] = None,
         category: str = "transfer",
         name: str = "h2d",
+        meta: Optional[dict] = None,
     ) -> SimTask:
         # Raw link time (not self.h2d_seconds: subclasses may override the
         # estimate to include extra hops they charge as separate tasks).
         duration = transfer_time(self.spec.host_links[device], nbytes)
+        info = {"device": device, "bytes": nbytes, "direction": "h2d"}
+        if meta:
+            info.update(meta)
         return self.engine.task(
             name=f"{name}:host->{device}",
             duration=duration,
             resource=self.links[device],
             deps=list(deps or []),
             category=category,
-            meta={"device": device, "bytes": nbytes, "direction": "h2d"},
+            meta=info,
         )
 
     def submit_d2h(
@@ -165,15 +173,19 @@ class SimNode:
         deps: Optional[Sequence[SimTask]] = None,
         category: str = "transfer",
         name: str = "d2h",
+        meta: Optional[dict] = None,
     ) -> SimTask:
         duration = transfer_time(self.spec.host_links[device], nbytes)
+        info = {"device": device, "bytes": nbytes, "direction": "d2h"}
+        if meta:
+            info.update(meta)
         return self.engine.task(
             name=f"{name}:{device}->host",
             duration=duration,
             resource=self.links[device],
             deps=list(deps or []),
             category=category,
-            meta={"device": device, "bytes": nbytes, "direction": "d2h"},
+            meta=info,
         )
 
     def submit_d2d(
@@ -184,6 +196,7 @@ class SimNode:
         deps: Optional[Sequence[SimTask]] = None,
         category: str = "transfer",
         name: str = "d2d",
+        meta: Optional[dict] = None,
     ) -> SimTask:
         """Device→device move, staged through host memory.
 
@@ -192,10 +205,12 @@ class SimNode:
         """
         if src == dst:
             return self.device(src).submit_intradevice_copy(
-                nbytes, deps=deps, category=category, name=name
+                nbytes, deps=deps, category=category, name=name, meta=meta
             )
-        stage = self.submit_d2h(src, nbytes, deps=deps, category=category, name=name)
-        return self.submit_h2d(dst, nbytes, deps=[stage], category=category, name=name)
+        stage = self.submit_d2h(src, nbytes, deps=deps, category=category,
+                                name=name, meta=meta)
+        return self.submit_h2d(dst, nbytes, deps=[stage], category=category,
+                               name=name, meta=meta)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"SimNode({self.spec.name!r}, devices={list(self.devices)})"

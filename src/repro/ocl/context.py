@@ -24,7 +24,13 @@ from repro.ocl.scheduling import SchedulerBase, create_scheduler
 if TYPE_CHECKING:  # pragma: no cover
     from repro.ocl.platform import Platform
 
-__all__ = ["Context"]
+__all__ = ["Context", "TENANT_PROPERTY_KEY"]
+
+#: Context property naming the tenant a context belongs to (multi-tenant
+#: service mode).  The tag propagates into every kernel/transfer task the
+#: context's queues issue, so per-tenant telemetry can be derived from the
+#: trace without instrumenting workloads.
+TENANT_PROPERTY_KEY = "multicl.tenant"
 
 _ids = itertools.count(1)
 
@@ -67,6 +73,16 @@ class Context:
         self._in_sync = False
         self._resync_needed = False
         self._post_sync: List[Any] = []
+        #: Tenant tag (multi-tenant service mode); stamped into every task
+        #: meta this context's queues produce.
+        tenant = self.properties.get(TENANT_PROPERTY_KEY)
+        self.tenant: Optional[str] = str(tenant) if tenant is not None else None
+        #: Cross-context arbiter (multi-tenant service mode).  When set,
+        #: scheduler triggers are delegated to it instead of handing the
+        #: pool straight to this context's scheduler: the arbiter decides
+        #: which tenants' ready pools dispatch (and in what order) before
+        #: falling back to each context's own policy for the mapping.
+        self.arbiter: Optional[Any] = None
         # Opt-in runtime sanitizer: the "multicl.sanitize" context property
         # wins; otherwise MULTICL_SANITIZE in the environment decides.
         from repro.analysis.sanitizer import (
@@ -183,8 +199,15 @@ class Context:
                     raise InvalidOperation(
                         "deferred commands exist but the context has no scheduler"
                     )
-                self._sanitize_check(pool)
-                self.scheduler.on_sync(pool, trigger_queue)
+                if self.arbiter is not None:
+                    # Service mode: the arbiter must drain *this* pool (the
+                    # host is blocked on it) and may opportunistically
+                    # dispatch other tenants' ready pools in fair-share
+                    # order.  It sanitizes each pool it dispatches.
+                    self.arbiter.on_trigger(self, pool, trigger_queue)
+                else:
+                    self._sanitize_check(pool)
+                    self.scheduler.on_sync(pool, trigger_queue)
                 leftovers = [
                     q.name for q in pool if q.pending and not self._resync_needed
                 ]

@@ -137,6 +137,13 @@ class CommandQueue:
         self.id = next(_queue_ids)
         self.context = context
         self.name = name or f"queue{self.id}"
+        #: Tenant tag propagated into every task meta this queue issues
+        #: (``None`` outside multi-tenant service mode — zero overhead).
+        #: The dict is shared per queue; task factories merge it into fresh
+        #: per-task meta dicts, so no mutable state is aliased.
+        self._tenant_meta: Optional[Dict[str, Any]] = (
+            {"tenant": context.tenant} if context.tenant is not None else None
+        )
         #: CL_QUEUE_OUT_OF_ORDER_EXEC_MODE_ENABLE: commands respect only
         #: their explicit wait lists (and barriers), so transfers and
         #: kernels from one queue may overlap across resources.
@@ -411,7 +418,7 @@ class CommandQueue:
             self._check_capacity(cmd.buffer, extra=(cmd.buffer,))
             task = node.submit_h2d(
                 self.device, cmd.nbytes, deps=deps, category="transfer",
-                name=f"write:{cmd.buffer.name}",
+                name=f"write:{cmd.buffer.name}", meta=self._tenant_meta,
             )
             if cmd.host_array is not None and cmd.buffer.array is not None:
                 cmd.buffer.array[...] = cmd.host_array
@@ -422,7 +429,7 @@ class CommandQueue:
             mig = self._migrations_for([cmd.buffer], deps, category="migration")
             task = node.submit_d2h(
                 self.device, cmd.nbytes, deps=deps + mig, category="transfer",
-                name=f"read:{cmd.buffer.name}",
+                name=f"read:{cmd.buffer.name}", meta=self._tenant_meta,
             )
             if cmd.host_array is not None and cmd.buffer.array is not None:
                 cmd.host_array[...] = cmd.buffer.array
@@ -432,7 +439,7 @@ class CommandQueue:
             self._check_capacity(cmd.buffer, extra=(cmd.buffer,))
             task = node.device(self.device).submit_intradevice_copy(
                 cmd.nbytes, deps=deps, category="transfer",
-                name=f"fill:{cmd.buffer.name}",
+                name=f"fill:{cmd.buffer.name}", meta=self._tenant_meta,
             )
             if cmd.buffer.array is not None:
                 cmd.buffer.array[...] = cmd.host_array
@@ -443,6 +450,7 @@ class CommandQueue:
             task = node.device(self.device).submit_intradevice_copy(
                 cmd.nbytes, deps=deps + mig, category="transfer",
                 name=f"copy:{cmd.src_buffer.name}->{cmd.buffer.name}",
+                meta=self._tenant_meta,
             )
             if cmd.buffer.array is not None and cmd.src_buffer.array is not None:
                 cmd.buffer.array[...] = cmd.src_buffer.array
@@ -485,12 +493,15 @@ class CommandQueue:
         migrations = self._migrations_for(buffers, deps, category="migration")
         config = kernel.effective_config(self.device, launch)
         cost = kernel.launch_cost(device.spec, launch)
+        meta = {"queue": self.name, "epoch": self.epoch_index}
+        if self._tenant_meta is not None:
+            meta.update(self._tenant_meta)
         task = device.submit_kernel(
             name=kernel.name,
             cost=cost,
             deps=deps + migrations,
             category="kernel",
-            meta={"queue": self.name, "epoch": self.epoch_index},
+            meta=meta,
         )
         # Functional payload runs in dependency (issue) order — see module
         # doc.  Replays after a device failure only re-charge simulated time:
@@ -538,14 +549,14 @@ class CommandQueue:
             if buf.is_valid_on(HOST):
                 t = node.submit_h2d(
                     self.device, buf.nbytes, deps=deps, category=category,
-                    name=f"mig:{buf.name}",
+                    name=f"mig:{buf.name}", meta=self._tenant_meta,
                 )
             else:
                 src = buf.any_valid_device()
                 assert src is not None
                 t = node.submit_d2d(
                     src, self.device, buf.nbytes, deps=deps, category=category,
-                    name=f"mig:{buf.name}",
+                    name=f"mig:{buf.name}", meta=self._tenant_meta,
                 )
             buf.mark_valid(self.device)
             tasks.append(t)

@@ -1,0 +1,40 @@
+"""Multi-tenant scheduling service over the simulated fleet.
+
+The MultiCL runtime schedules one application's command queues; this
+package puts a *service* in front of it: N tenant sessions — each with its
+own context, scheduling policy, fair-share weight, and quotas — submit
+against one shared simulated device fleet.  Admission control gates
+resources before they reach the fleet, a weighted deficit-round-robin
+arbiter decides when each tenant's ready pool dispatches, and per-tenant
+utilization telemetry is derived from tenant tags in the shared trace.
+
+Entry point: :class:`~repro.service.core.SchedulingService`.
+"""
+
+from repro.service.admission import (
+    MAX_SESSIONS_ENV,
+    QUOTA_BYTES_ENV,
+    AdmissionController,
+    AdmissionError,
+    QuotaExceeded,
+    TenantQuota,
+)
+from repro.service.arbiter import FairShareArbiter
+from repro.service.core import SchedulingService
+from repro.service.session import TenantSession
+from repro.service.telemetry import UNTAGGED, TenantTelemetry, TenantUsage
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionError",
+    "FairShareArbiter",
+    "MAX_SESSIONS_ENV",
+    "QUOTA_BYTES_ENV",
+    "QuotaExceeded",
+    "SchedulingService",
+    "TenantQuota",
+    "TenantSession",
+    "TenantTelemetry",
+    "TenantUsage",
+    "UNTAGGED",
+]

@@ -19,7 +19,7 @@ import itertools
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.sim.clock import SimClock
-from repro.sim.trace import Trace, TraceInterval
+from repro.sim.trace import EMPTY_META, Trace, TraceInterval
 
 __all__ = ["SimTask", "SimEngine", "SimError"]
 
@@ -33,8 +33,10 @@ class SimError(RuntimeError):
 
 #: Task lifecycle states.
 _PENDING = "pending"  # created, not yet submitted
-#: Shared metadata dict for tasks created without meta (never mutated).
-_EMPTY_META: Dict[str, Any] = {}
+#: Shared metadata mapping for tasks created without meta.  Read-only (it
+#: also flows into TraceInterval.meta): an in-place mutation raises instead
+#: of silently polluting every metadata-free task and trace interval.
+_EMPTY_META: Dict[str, Any] = EMPTY_META  # type: ignore[assignment]
 _WAITING = "waiting"  # submitted, waiting on dependencies
 _READY = "ready"  # dependencies met, queued on its resource
 _RUNNING = "running"  # in service

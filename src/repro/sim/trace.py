@@ -18,9 +18,18 @@ of a full O(n) scan per accounting call.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Iterable, Iterator, List, NamedTuple, Optional, Tuple
+from types import MappingProxyType
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Mapping, NamedTuple, Optional, Tuple
 
 __all__ = ["TraceInterval", "Trace", "FAULT_CATEGORY", "RECOVERY_CATEGORY"]
+
+#: Shared default for metadata-free intervals.  Immutable on purpose: the
+#: previous plain ``{}`` class default was aliased by *every*
+#: default-constructed interval, so one in-place mutation (e.g. a tag added
+#: post hoc) silently polluted all of them.  A read-only mapping keeps
+#: ``.get()``/iteration working and turns that aliasing bug into a loud
+#: ``TypeError``; callers wanting per-interval metadata pass their own dict.
+EMPTY_META: Mapping[str, Any] = MappingProxyType({})
 
 #: Category for injected faults and work lost to them (device failures,
 #: transient slowdown windows, link outages, aborted partial executions).
@@ -33,8 +42,9 @@ class TraceInterval(NamedTuple):
     """One served task on one resource.
 
     A named tuple (constructed ~once per simulated task): treat instances —
-    including the ``meta`` dict, which is stored without a defensive copy —
-    as immutable.
+    including the ``meta`` mapping, which is stored without a defensive copy
+    — as immutable.  Metadata-free intervals share the read-only
+    :data:`EMPTY_META` sentinel, so they cannot alias mutable state.
     """
 
     resource: str
@@ -42,7 +52,7 @@ class TraceInterval(NamedTuple):
     category: str
     start: float
     end: float
-    meta: Dict[str, Any] = {}
+    meta: Mapping[str, Any] = EMPTY_META
 
     @property
     def duration(self) -> float:
@@ -79,11 +89,12 @@ class Trace:
         meta: Optional[Dict[str, Any]] = None,
     ) -> None:
         # Hot path: one tuple construction + one append.  The meta dict is
-        # stored as given (callers hand over ownership); indexing happens
-        # lazily at the next query.
+        # stored as given (callers hand over ownership); a ``None`` sentinel
+        # normalises to the shared immutable empty mapping.  Indexing
+        # happens lazily at the next query.
         self._intervals.append(
             TraceInterval(resource, task, category, start, end,
-                          meta if meta is not None else {})
+                          meta if meta is not None else EMPTY_META)
         )
 
     def _catch_up(self) -> None:

@@ -27,6 +27,7 @@ EXPECTED = {
     "cluster_scheduling.py": "REMOTE",
     "double_buffering.py": "% faster",
     "fault_tolerance.py": "run completed on degraded pool, numerics exactly-once: True",
+    "multi_tenant.py": "fair share within 10% of weights: True",
     "sanitizer_demo.py": "fixed pipeline findings: 0",
 }
 

@@ -1,0 +1,322 @@
+"""Multi-tenant scheduling service: admission, fair share, telemetry."""
+
+import numpy as np
+import pytest
+
+from repro.ocl.enums import ContextScheduler, SchedFlag
+from repro.service import (
+    UNTAGGED,
+    AdmissionError,
+    QuotaExceeded,
+    SchedulingService,
+    TenantQuota,
+)
+
+PROGRAM = """
+// @multicl flops_per_item=200 bytes_per_item=8 writes=0
+__kernel void scale(__global float* x, const float a) {
+  int i = get_global_id(0);
+  x[i] = x[i] * a;
+}
+"""
+
+N = 1 << 16
+
+
+@pytest.fixture
+def service(profile_dir):
+    return SchedulingService(profile_dir=profile_dir)
+
+
+class Client:
+    """Client-side tenant state for tests: program, kernel, queue, buffer."""
+
+    def __init__(self, session):
+        self.session = session
+        program = session.create_program(PROGRAM).build()
+        self.kernel = program.create_kernel("scale")
+        self.buffer = session.create_buffer(
+            4 * N, host_array=np.zeros(N, np.float32)
+        )
+        self.queue = session.create_queue(
+            sched_flags=SchedFlag.SCHED_AUTO_DYNAMIC
+        )
+
+    def enqueue_epoch(self):
+        self.kernel.set_arg(0, self.buffer)
+        self.kernel.set_arg(1, 2.0)
+        self.queue.enqueue_nd_range_kernel(self.kernel, (N,), (64,))
+
+
+# ---------------------------------------------------------------------------
+# Admission control
+# ---------------------------------------------------------------------------
+class TestAdmission:
+    def test_session_cap_rejects(self, profile_dir):
+        svc = SchedulingService(max_sessions=2, profile_dir=profile_dir)
+        svc.create_session("a")
+        svc.create_session("b")
+        with pytest.raises(AdmissionError, match="at capacity"):
+            svc.create_session("c")
+
+    def test_session_cap_waitlist_admits_on_close(self, profile_dir):
+        svc = SchedulingService(max_sessions=1, profile_dir=profile_dir)
+        a = svc.create_session("a")
+        w = svc.create_session("w", on_overload="queue")
+        assert w.state == "waiting" and w.context is None
+        with pytest.raises(AdmissionError, match="waiting"):
+            w.create_buffer(16)  # waiting sessions hold no fleet resources
+        a.close()
+        assert w.state == "active" and w.context is not None
+        assert w.context.tenant == "w"
+
+    def test_duplicate_tenant_name_rejected(self, service):
+        service.create_session("dup")
+        with pytest.raises(AdmissionError, match="already exists"):
+            service.create_session("dup")
+
+    def test_byte_quota_rejects_over_allocation(self, service):
+        s = service.create_session(
+            "t", quota=TenantQuota(max_resident_bytes=1000)
+        )
+        s.create_buffer(800)
+        with pytest.raises(AdmissionError, match="resident-byte quota"):
+            s.create_buffer(300)
+        s.create_buffer(200)  # exactly at the quota is fine
+
+    def test_queue_quota_rejects(self, service):
+        s = service.create_session("t", quota=TenantQuota(max_queues=2))
+        s.create_queue(sched_flags=SchedFlag.SCHED_OFF)
+        s.create_queue(sched_flags=SchedFlag.SCHED_OFF)
+        with pytest.raises(AdmissionError, match="queue quota"):
+            s.create_queue(sched_flags=SchedFlag.SCHED_OFF)
+
+    def test_byte_quota_env_default(self, service, monkeypatch):
+        monkeypatch.setenv("MULTICL_TENANT_QUOTA_BYTES", "500")
+        s = service.create_session("enved")
+        assert s.quota.max_resident_bytes == 500
+        with pytest.raises(AdmissionError, match="resident-byte quota"):
+            s.create_buffer(501)
+
+    def test_explicit_quota_beats_env(self, service, monkeypatch):
+        monkeypatch.setenv("MULTICL_TENANT_QUOTA_BYTES", "500")
+        s = service.create_session(
+            "big", quota=TenantQuota(max_resident_bytes=10_000)
+        )
+        assert s.quota.max_resident_bytes == 10_000
+        s.create_buffer(5_000)
+
+
+# ---------------------------------------------------------------------------
+# Fair-share arbitration
+# ---------------------------------------------------------------------------
+class TestFairShare:
+    def test_weighted_shares_converge_to_weights(self, profile_dir):
+        svc = SchedulingService(max_sessions=4, profile_dir=profile_dir)
+        weights = {"alpha": 4.0, "beta": 2.0, "gamma": 1.0, "delta": 1.0}
+        clients = {
+            name: Client(
+                svc.create_session(
+                    name, weight=w, policy=ContextScheduler.ROUND_ROBIN
+                )
+            )
+            for name, w in weights.items()
+        }
+        # Closed loop: every tenant keeps exactly one epoch deferred, so
+        # dispatch rate is limited only by fair-share credit.
+        for _ in range(120):
+            for c in clients.values():
+                if not c.session.pending_queues():
+                    c.enqueue_epoch()
+            svc.trigger()
+            svc.run_until_idle()
+        shares = svc.telemetry.shares(list(weights))
+        total = sum(weights.values())
+        for name, w in weights.items():
+            target = w / total
+            assert shares[name] == pytest.approx(target, rel=0.10), name
+
+    def test_forced_trigger_drains_the_blocked_tenant(self, service):
+        c = Client(service.create_session("solo"))
+        c.enqueue_epoch()
+        assert c.session.pending_queues()
+        c.queue.finish()  # forced trigger: must drain despite zero rounds
+        assert not c.session.pending_queues()
+        service.run_until_idle()
+        assert service.telemetry.device_seconds("solo") > 0.0
+
+    def test_voluntary_round_defers_underfunded_pools(self, profile_dir):
+        svc = SchedulingService(profile_dir=profile_dir)
+        heavy = Client(svc.create_session("heavy", weight=4.0))
+        light = Client(svc.create_session("light", weight=1.0))
+        heavy.enqueue_epoch()
+        light.enqueue_epoch()
+        # Round 1 auto-calibrates quantum to half the pool cost per max
+        # weight: heavy affords its pool within 2 rounds, light needs 8.
+        rounds_until = {}
+        for rnd in range(1, 20):
+            svc.trigger()
+            for name, c in (("heavy", heavy), ("light", light)):
+                if name not in rounds_until and not c.session.pending_queues():
+                    rounds_until[name] = rnd
+            if len(rounds_until) == 2:
+                break
+        assert rounds_until["heavy"] < rounds_until["light"]
+
+    def test_priority_orders_service_within_a_round(self, profile_dir):
+        svc = SchedulingService(profile_dir=profile_dir, quantum=1e6)
+        lo = Client(svc.create_session("lo", priority=0))
+        hi = Client(svc.create_session("hi", priority=5))
+        lo.enqueue_epoch()
+        hi.enqueue_epoch()
+        svc.trigger()  # huge quantum: both dispatch, in priority order
+        log = [tenant for _, tenant, _ in svc.arbiter.dispatch_log]
+        assert log == ["hi", "lo"]
+
+    def test_device_time_quota_parks_and_raises_when_forced(self, service):
+        c = Client(
+            service.create_session(
+                "tiny", quota=TenantQuota(max_device_seconds=1e-12)
+            )
+        )
+        c.enqueue_epoch()
+        c.queue.flush()  # first dispatch: not yet over quota, charges time
+        assert c.session.charged_seconds > 1e-12
+        c.enqueue_epoch()
+        assert service.trigger() == 0  # parked: voluntary rounds skip it
+        assert c.session.pending_queues()
+        with pytest.raises(QuotaExceeded, match="device-time quota"):
+            c.queue.flush()
+
+    def test_tenants_keep_their_own_policy(self, profile_dir):
+        svc = SchedulingService(profile_dir=profile_dir)
+        af = Client(svc.create_session("af", policy=ContextScheduler.AUTO_FIT))
+        rr = Client(
+            svc.create_session("rr", policy=ContextScheduler.ROUND_ROBIN)
+        )
+        from repro.core.scheduler import AutoFitScheduler, RoundRobinScheduler
+
+        assert isinstance(af.session.context.scheduler, AutoFitScheduler)
+        assert isinstance(rr.session.context.scheduler, RoundRobinScheduler)
+        af.enqueue_epoch()
+        rr.enqueue_epoch()
+        svc.drain()
+        # Both policies recorded a mapping for their own pool only.
+        assert af.session.context.scheduler.mapping_history
+        assert rr.session.context.scheduler.mapping_history
+
+
+# ---------------------------------------------------------------------------
+# Telemetry
+# ---------------------------------------------------------------------------
+class TestTelemetry:
+    def test_tenant_sums_reconcile_with_raw_trace(self, profile_dir):
+        svc = SchedulingService(profile_dir=profile_dir)
+        clients = [Client(svc.create_session(f"t{i}")) for i in range(3)]
+        for c in clients:
+            c.enqueue_epoch()
+        svc.drain()
+        trace = svc.platform.engine.trace
+        dev_total = sum(
+            iv.end - iv.start
+            for iv in trace
+            if iv.resource.startswith("dev:")
+            and iv.category in ("kernel", "transfer", "migration")
+        )
+        link_total = sum(
+            iv.end - iv.start
+            for iv in trace
+            if iv.resource.startswith("link:")
+            and iv.category in ("transfer", "migration")
+        )
+        snap = svc.telemetry.snapshot()
+        assert sum(u.device_seconds for u in snap.values()) == pytest.approx(
+            dev_total
+        )
+        assert sum(u.link_seconds for u in snap.values()) == pytest.approx(
+            link_total
+        )
+
+    def test_untagged_bucket_collects_non_service_work(self, profile_dir):
+        svc = SchedulingService(profile_dir=profile_dir)
+        c = Client(svc.create_session("tagged"))
+        c.enqueue_epoch()
+        svc.drain()
+        # An untenanted context on the same platform issues untagged work.
+        plain = svc.platform.create_context()
+        q = plain.create_queue()
+        buf = plain.create_buffer(1024)
+        q.enqueue_write_buffer(buf, None)
+        q.finish()
+        svc.run_until_idle()
+        snap = svc.telemetry.snapshot()
+        assert snap[UNTAGGED].link_seconds > 0.0
+        assert "tagged" in snap
+
+    def test_profiling_overhead_not_charged_to_tenants(self, profile_dir):
+        svc = SchedulingService(profile_dir=profile_dir)
+        c = Client(svc.create_session("af", policy=ContextScheduler.AUTO_FIT))
+        c.enqueue_epoch()
+        svc.drain()
+        usage = svc.telemetry.usage("af")
+        assert usage.device_seconds > 0.0
+        assert all(
+            not cat.startswith("profile") for cat in usage.by_category
+        )
+
+    def test_incremental_cursor_matches_fresh_fold(self, profile_dir):
+        svc = SchedulingService(profile_dir=profile_dir)
+        c = Client(svc.create_session("t"))
+        c.enqueue_epoch()
+        svc.drain()
+        mid = svc.telemetry.device_seconds("t")  # fold part-way
+        c.enqueue_epoch()
+        svc.drain()
+        incremental = svc.telemetry.device_seconds("t")
+        assert incremental > mid
+        from repro.service.telemetry import TenantTelemetry
+
+        fresh = TenantTelemetry(svc.platform.engine.trace)
+        assert fresh.device_seconds("t") == pytest.approx(incremental)
+
+
+# ---------------------------------------------------------------------------
+# Session lifecycle
+# ---------------------------------------------------------------------------
+class TestSessionLifecycle:
+    def test_close_releases_queues_and_is_idempotent(self, service):
+        c = Client(service.create_session("t"))
+        c.enqueue_epoch()
+        c.session.close()  # finishes pending work, releases queues
+        assert c.session.state == "closed"
+        assert c.queue.released
+        c.session.close()  # idempotent
+
+    def test_closed_session_rejects_resources(self, service):
+        s = service.create_session("t")
+        s.close()
+        with pytest.raises(AdmissionError, match="closed"):
+            s.create_buffer(16)
+
+    def test_closed_name_can_be_reused(self, service):
+        service.create_session("t").close()
+        again = service.create_session("t")
+        assert again.state == "active"
+
+    def test_waiting_session_close_leaves_waitlist(self, profile_dir):
+        svc = SchedulingService(max_sessions=1, profile_dir=profile_dir)
+        a = svc.create_session("a")
+        w1 = svc.create_session("w1", on_overload="queue")
+        w2 = svc.create_session("w2", on_overload="queue")
+        w1.close()  # gives up its waitlist spot
+        a.close()
+        assert w1.state == "closed"
+        assert w2.state == "active"  # w2 got the slot, not the closed w1
+
+    def test_invalid_weight_rejected(self, service):
+        with pytest.raises(ValueError, match="weight"):
+            service.create_session("bad", weight=0.0)
+
+    def test_invalid_overload_mode_rejected(self, service):
+        with pytest.raises(ValueError, match="on_overload"):
+            service.create_session("bad", on_overload="panic")
