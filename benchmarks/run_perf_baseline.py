@@ -246,6 +246,36 @@ def bench_tenant_service() -> float:
     return total
 
 
+_REPLAY_PROFILE_DIR = None
+
+
+def bench_replay_throughput() -> float:
+    """Open-loop replay rate: 20k Poisson arrivals through the batched
+    event loop with a streaming (discard) trace sink.
+
+    The wall time is the engine-scalability figure — commands replayed per
+    second of host time — and the checksum is the replay's deterministic
+    fold (completions + horizon + latency sum + device seconds), so any
+    change to arrival generation, dispatch, or trace accounting fails the
+    perf gate loudly.
+    """
+    global _REPLAY_PROFILE_DIR
+    if _REPLAY_PROFILE_DIR is None:
+        _REPLAY_PROFILE_DIR = tempfile.mkdtemp(prefix="perf-baseline-replay-")
+    from repro.replay import ReplayConfig, run_tenant
+    from repro.replay.shard import ensure_profile_cache
+
+    config = ReplayConfig(
+        commands=20_000,
+        tenants=1,
+        rate=300.0,
+        seed=17,
+        spill_every=4096,
+        profile_dir=ensure_profile_cache(_REPLAY_PROFILE_DIR),
+    )
+    return run_tenant(config, 0).checksum
+
+
 BENCHES = {
     "engine_event_throughput": bench_engine_event_throughput,
     "mapper_solve_8x4": bench_mapper_solve_8x4,
@@ -256,6 +286,7 @@ BENCHES = {
     "numerics_setup": bench_numerics_setup,
     "parallel_sweep": bench_parallel_sweep,
     "tenant_service": bench_tenant_service,
+    "replay_throughput": bench_replay_throughput,
 }
 
 

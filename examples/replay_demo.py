@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""Open-loop traffic replay: production-shaped load against the scheduler.
+
+The paper evaluates MultiCL closed-loop: a fixed task graph, makespan as
+the figure of merit.  Production schedulers face an *open* system —
+requests arrive on their own clock whether or not the fleet has kept up —
+so :mod:`repro.replay` drives seeded arrival processes (Poisson, bursty
+on/off, diurnal) over a mixed-kernel-family traffic model and reports
+arrival→completion latency percentiles, sustained throughput, and
+per-tenant fairness.
+
+Three things are demonstrated here:
+
+* a bursty two-tenant replay, sharded across two worker processes and
+  verified bit-identical to the serial reference (the determinism the
+  CI smoke job pins);
+* streaming-trace accounting: hundreds of thousands of intervals flow
+  through a sink while resident memory stays flat at the spill threshold;
+* a small service-mode replay through the fair-share arbiter, where
+  heavier-weighted tenants finish the same open workload sooner.
+
+Run:  python examples/replay_demo.py
+"""
+
+from repro.replay import (
+    ReplayConfig,
+    run_service_replay,
+    run_sharded,
+    verify_against_serial,
+)
+
+COMMANDS = 25_000  # per tenant; ~50k commands replayed end-to-end
+
+
+def engine_mode() -> None:
+    config = ReplayConfig(
+        commands=COMMANDS,
+        tenants=2,
+        process="bursty",
+        rate=300.0,  # ~2/3 of a tenant fleet's capacity: a stable queue
+        seed=7,
+        spill_every=4096,
+    )
+    report = run_sharded(config, shards=2)
+    print(report.render())
+    worst_resident = max(t.resident for t in report.tenants)
+    print(
+        f"streamed {sum(t.spilled for t in report.tenants)} trace intervals; "
+        f"resident tail never above {worst_resident} (< spill threshold 4096)"
+    )
+    identical = verify_against_serial(report, config)
+    print(f"sharded replay bit-identical to serial: {identical}")
+
+
+def service_mode() -> None:
+    config = ReplayConfig(
+        commands=120,
+        tenants=3,
+        rate=400.0,  # 3 x 400/s >> fleet capacity: sustained contention
+        seed=1,
+        weights=(4.0, 2.0, 1.0),
+        chunk=64,
+    )
+    report = run_service_replay(config)
+    print()
+    print("service mode (shared fleet, weighted fair share 4:2:1):")
+    for t in report.tenants:
+        share = report.shares.get(t.tenant, 0.0)
+        print(
+            f"  {t.tenant}: weight {t.weight:g}, finished at "
+            f"{t.end_time:.2f}s simulated, device share {share:.3f}"
+        )
+    ordered = sorted(report.tenants, key=lambda t: t.weight, reverse=True)
+    print(
+        "heavier tenants finish the same workload sooner: "
+        f"{all(a.end_time <= b.end_time for a, b in zip(ordered, ordered[1:]))}"
+    )
+
+
+def main() -> None:
+    engine_mode()
+    service_mode()
+
+
+if __name__ == "__main__":
+    main()

@@ -20,6 +20,14 @@ __all__ = ["main"]
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv and argv[0] == "replay":
+        # Open-loop replay has its own option surface; hand the rest of the
+        # command line to its CLI so both spellings behave identically:
+        # ``python -m repro.bench replay ...`` == ``python -m repro.replay ...``
+        from repro.replay.cli import main as replay_main
+
+        return replay_main(argv[1:], prog="python -m repro.bench replay")
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench",
         description="Regenerate the MultiCL paper's tables and figures "
@@ -28,7 +36,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "experiment",
         help="experiment id (fig3..fig10, table2, ablations, loc), "
-        "'all', or 'list'",
+        "'all', 'list', or 'replay' (open-loop traffic replay; "
+        "see 'replay --help')",
     )
     parser.add_argument(
         "--full",

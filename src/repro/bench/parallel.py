@@ -32,6 +32,7 @@ from repro.bench.harness import ExperimentResult
 
 __all__ = [
     "default_jobs",
+    "fork_map",
     "prewarm_profile_cache",
     "run_parallel",
     "verify_against_serial",
@@ -41,6 +42,41 @@ __all__ = [
 def default_jobs() -> int:
     """Worker count when ``--jobs`` is given without a value: the CPUs."""
     return max(os.cpu_count() or 1, 1)
+
+
+def fork_map(
+    fn,
+    tasks,
+    jobs: int,
+    initializer=None,
+    initargs: tuple = (),
+) -> list:
+    """Order-preserving process map over ``tasks`` with the fleet's defaults.
+
+    The shared machinery under both the experiment fleet and the replay
+    shard runner: prefer ``fork`` (workers inherit interpreter state —
+    hash seed, imports, warm caches), ``chunksize=1`` to load-balance
+    skewed task durations, and results in input order so merging stays
+    deterministic.  ``jobs=1`` (or a single task) runs in-process, calling
+    ``initializer`` first so both paths see identical setup.
+    """
+    tasks = list(tasks)
+    jobs = max(int(jobs), 1)
+    if jobs == 1 or len(tasks) <= 1:
+        if initializer is not None:
+            initializer(*initargs)
+        return [fn(t) for t in tasks]
+    try:
+        ctx = multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-fork platforms
+        ctx = multiprocessing.get_context()
+    with ProcessPoolExecutor(
+        max_workers=min(jobs, len(tasks)),
+        mp_context=ctx,
+        initializer=initializer,
+        initargs=initargs,
+    ) as pool:
+        return list(pool.map(fn, tasks, chunksize=1))
 
 
 def prewarm_profile_cache(
@@ -108,25 +144,10 @@ def run_parallel(
         counts.append((name, len(units)))
         tasks.extend((name, key, fast) for key in units)
 
-    if jobs == 1 or len(tasks) <= 1:
-        payloads = [_run_unit(t) for t in tasks]
-    else:
-        # fork (where available) inherits the parent's interpreter state —
-        # hash seed, imports, warm caches — keeping workers cheap and
-        # deterministic; initializer covers spawn-only platforms too.
-        try:
-            ctx = multiprocessing.get_context("fork")
-        except ValueError:  # pragma: no cover - non-fork platforms
-            ctx = multiprocessing.get_context()
-        with ProcessPoolExecutor(
-            max_workers=min(jobs, len(tasks)),
-            mp_context=ctx,
-            initializer=_init_worker,
-            initargs=(profile_dir,),
-        ) as pool:
-            # map() preserves task order; chunksize=1 load-balances the
-            # heavily skewed unit durations (fig4 units dwarf loc).
-            payloads = list(pool.map(_run_unit, tasks, chunksize=1))
+    payloads = fork_map(
+        _run_unit, tasks, jobs, initializer=_init_worker,
+        initargs=(profile_dir,),
+    )
 
     results: Dict[str, ExperimentResult] = {}
     offset = 0

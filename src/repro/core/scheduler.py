@@ -23,7 +23,7 @@ and leave every pooled queue bound to a device with its commands issued.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Sequence, TYPE_CHECKING
+from typing import Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
 
 from repro.core.device_mapper import MapperError, optimal_mapping
 from repro.core.flags import CONFIG_PROPERTY_KEY, ScheduleOptions, SchedulerConfig
@@ -74,6 +74,23 @@ class MultiCLSchedulerBase(SchedulerBase):
         self.profiler = KernelProfiler(context, cfg)
         #: One entry per trigger: {queue name: device name}.
         self.mapping_history: List[Dict[str, str]] = []
+        #: SnuCL device order memoised per active-device tuple: the pool
+        #: only changes on fission or device failure, while high-frequency
+        #: drivers (service replay) trigger the scheduler every epoch.
+        self._device_order_cache: Dict[Tuple[str, ...], List[str]] = {}
+
+    def device_order(self) -> List[str]:
+        """Cached :func:`_snucl_device_order` for the current active pool.
+
+        The returned list is shared with the cache — callers must treat it
+        as read-only.
+        """
+        key = tuple(self.context.active_device_names)
+        order = self._device_order_cache.get(key)
+        if order is None:
+            order = _snucl_device_order(self.context)
+            self._device_order_cache[key] = order
+        return order
 
     # -- static kernel transformation (clBuildProgram hook) ---------------
     def on_program_build(self, program: "Program") -> None:
@@ -147,7 +164,7 @@ class RoundRobinScheduler(MultiCLSchedulerBase):
         pool: Sequence["CommandQueue"],
         trigger_queue: Optional["CommandQueue"] = None,
     ) -> None:
-        order = _snucl_device_order(self.context)
+        order = self.device_order()
         if not order:
             raise MapperError("no feasible device remains (all failed)")
         for q in sorted(pool, key=lambda q: q.id):

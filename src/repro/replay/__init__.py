@@ -1,0 +1,74 @@
+"""Open-loop traffic replay at production scale.
+
+The paper evaluates the scheduler closed-loop (fixed work, measure
+makespan).  This package adds the complementary *open-loop* view used to
+evaluate production schedulers: seedable arrival processes (Poisson,
+bursty on/off, diurnal) over a mix of kernel families drive the simulated
+fleet whether or not it keeps up, and the figures of merit are per-request
+arrival-to-completion latency percentiles (p50/p99/p999), sustained
+throughput, and per-tenant fairness.
+
+Entry points:
+
+* :func:`~repro.replay.shard.run_serial` /
+  :func:`~repro.replay.shard.run_sharded` — engine-mode replay of
+  independent tenants, optionally fanned across processes with
+  bit-identical results;
+* :func:`~repro.replay.runner.run_service_replay` — contended replay
+  through the multi-tenant fair-share scheduling service;
+* ``python -m repro.replay`` (or ``python -m repro.bench replay``) — CLI.
+"""
+
+from repro.replay.arrivals import (
+    DEFAULT_FAMILIES,
+    ArrivalProcess,
+    DiurnalProcess,
+    KernelFamily,
+    OnOffProcess,
+    PoissonProcess,
+    derive_seed,
+    make_process,
+)
+from repro.replay.metrics import (
+    LatencyHistogram,
+    ReplayReport,
+    TenantResult,
+    jain_index,
+    merge_results,
+)
+from repro.replay.runner import (
+    DiscardSink,
+    ReplayConfig,
+    run_service_replay,
+    run_tenant,
+)
+from repro.replay.shard import (
+    ensure_profile_cache,
+    run_serial,
+    run_sharded,
+    verify_against_serial,
+)
+
+__all__ = [
+    "ArrivalProcess",
+    "PoissonProcess",
+    "OnOffProcess",
+    "DiurnalProcess",
+    "KernelFamily",
+    "DEFAULT_FAMILIES",
+    "make_process",
+    "derive_seed",
+    "LatencyHistogram",
+    "TenantResult",
+    "ReplayReport",
+    "jain_index",
+    "merge_results",
+    "ReplayConfig",
+    "DiscardSink",
+    "run_tenant",
+    "run_service_replay",
+    "run_serial",
+    "run_sharded",
+    "verify_against_serial",
+    "ensure_profile_cache",
+]

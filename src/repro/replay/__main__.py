@@ -1,0 +1,6 @@
+"""``python -m repro.replay`` — see :mod:`repro.replay.cli`."""
+
+from repro.replay.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -140,6 +140,16 @@ class SchedulingService:
         self.platform.engine.run_until_idle()
         return self.platform.engine.now
 
+    def run_until_time(self, time: float) -> float:
+        """Advance virtual time to exactly ``time``; later events stay queued.
+
+        The open-loop replay driver's epoch step: process everything due in
+        the epoch window, then arbitrate (:meth:`trigger`) at the boundary
+        without draining in-service work the way :meth:`run_until_idle`
+        would.
+        """
+        return self.platform.engine.run_until_time(time)
+
     def drain(self) -> None:
         """Force every tenant's backlog through (quota parking still
         applies: a parked tenant's forced drain raises

@@ -24,8 +24,20 @@ from repro.sim.faults import (
     FaultPolicy,
 )
 from repro.sim.resources import FifoResource
-from repro.sim.trace import FAULT_CATEGORY, RECOVERY_CATEGORY, Trace, TraceInterval
-from repro.sim.export import to_chrome_trace, utilization_report, write_chrome_trace
+from repro.sim.trace import (
+    FAULT_CATEGORY,
+    RECOVERY_CATEGORY,
+    Trace,
+    TraceInterval,
+    TraceSink,
+)
+from repro.sim.export import (
+    JsonlTraceSink,
+    read_jsonl_trace,
+    to_chrome_trace,
+    utilization_report,
+    write_chrome_trace,
+)
 
 __all__ = [
     "SimClock",
@@ -34,6 +46,9 @@ __all__ = [
     "FifoResource",
     "Trace",
     "TraceInterval",
+    "TraceSink",
+    "JsonlTraceSink",
+    "read_jsonl_trace",
     "FAULT_CATEGORY",
     "RECOVERY_CATEGORY",
     "FaultKind",

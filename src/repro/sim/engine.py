@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.sim.clock import SimClock
 from repro.sim.trace import EMPTY_META, Trace, TraceInterval
@@ -75,6 +75,7 @@ class SimTask:
         "state",
         "start_time",
         "end_time",
+        "arrival_time",
         "_unmet",
         "_dependents",
         "_callbacks",
@@ -104,6 +105,11 @@ class SimTask:
         self.state = _PENDING
         self.start_time: Optional[float] = None
         self.end_time: Optional[float] = None
+        #: Open-loop accounting hook: when the task models a request in a
+        #: queueing system, the replayer stamps its *arrival* time here so
+        #: completion handlers can compute arrival→completion latency
+        #: (``start_time`` is service start, which differs under queueing).
+        self.arrival_time: Optional[float] = None
         self._unmet = 0
         # Lazily allocated (None == empty): most tasks never gain waiters
         # or completion callbacks, so skip two list allocations per task.
@@ -159,6 +165,11 @@ class SimEngine:
         self._heap: List[Tuple[float, int, Callable[..., None], Optional[SimTask]]] = []
         self._seq = itertools.count()
         self._open_tasks = 0
+        #: Heap generation counter: bumped once per bulk rebuild in
+        #: :meth:`schedule_batch` (extend + single heapify).  Replay epochs
+        #: assert on it to prove batch injection took the O(H+K) rebuild or
+        #: O(K) sorted-extend path rather than K individual sift-ups.
+        self.heap_generation = 0
         # Depth guard for the zero-duration inline-finish fast path: long
         # chains of zero-cost host tasks fall back to the heap instead of
         # recursing without bound.
@@ -179,13 +190,67 @@ class SimEngine:
         """Run ``fn`` at absolute simulated ``time`` (>= now)."""
         if time < self.clock._now:
             raise SimError(f"cannot schedule event in the past ({time} < {self.now})")
-        heapq.heappush(self._heap, (float(time), next(self._seq), fn, None))
+        _heappush(self._heap, (float(time), next(self._seq), fn, None))
 
     def schedule_after(self, delay: float, fn: Callable[[], None]) -> None:
         """Run ``fn`` after ``delay`` simulated seconds."""
         if delay < 0.0:
             raise SimError(f"negative delay {delay!r}")
         self.schedule_at(self.clock._now + delay, fn)
+
+    def schedule_batch(
+        self,
+        events: Iterable[Tuple[float, Callable[..., None], Optional[Any]]],
+    ) -> int:
+        """Schedule many ``(time, fn, arg)`` events in one pass; return count.
+
+        This is the open-loop replay injection path: an epoch of arrivals
+        lands in the heap at once instead of through per-event
+        :meth:`schedule_at` calls.  Three regimes, cheapest first:
+
+        * heap empty + events already time-sorted — a sorted list *is* a
+          valid binary heap, so the batch is adopted with a plain extend
+          (O(K), no sifting at all);
+        * batch comparable to or larger than the pending heap — extend and
+          re-heapify once (O(H+K), bumping :attr:`heap_generation`), which
+          for epoch-sized batches beats K·log(H) sift-ups and, crucially,
+          is paid per *epoch*, never per event — a replay of N total
+          commands injected in E epochs pays O(N + E·H), not O(N·log N);
+        * small batch against a large heap — fall back to individual
+          pushes (re-heapifying everything would be the O(total) trap).
+
+        ``arg`` follows the internal event convention: ``None`` means
+        ``fn()``, anything else means ``fn(arg)`` — so batch events can
+        carry a payload without closing a lambda over it.
+        """
+        now = self.clock._now
+        seq = self._seq
+        entries: List[Tuple[float, int, Callable[..., None], Optional[Any]]] = []
+        prev = now
+        sorted_ok = True
+        for time, fn, arg in events:
+            time = float(time)
+            if time < now:
+                raise SimError(
+                    f"cannot schedule event in the past ({time} < {now})"
+                )
+            if time < prev:
+                sorted_ok = False
+            prev = time
+            entries.append((time, next(seq), fn, arg))
+        if not entries:
+            return 0
+        heap = self._heap
+        if not heap and sorted_ok:
+            heap.extend(entries)
+        elif len(entries) * 4 >= len(heap):
+            heap.extend(entries)
+            heapq.heapify(heap)
+            self.heap_generation += 1
+        else:
+            for entry in entries:
+                _heappush(heap, entry)
+        return len(entries)
 
     # ------------------------------------------------------------------
     # Task API
@@ -298,7 +363,9 @@ class SimEngine:
         start = task.start_time
         # Equivalent to self.trace.record(...), with the call layers peeled
         # off: Trace.record is a bare append by contract (lazy indexing).
-        self.trace._intervals.append(
+        trace = self.trace
+        intervals = trace._intervals
+        intervals.append(
             TraceInterval(
                 resource.name if resource is not None else "host",
                 task.name,
@@ -308,6 +375,12 @@ class SimEngine:
                 task.meta,
             )
         )
+        # Streaming mode: once the resident tail reaches the spill
+        # threshold, hand it to the attached sink.  ``_spill_at`` is 0
+        # (falsy) on a plain resident trace, so the default path pays one
+        # attribute load and a truthiness check.
+        if trace._spill_at and len(intervals) >= trace._spill_at:
+            trace._spill()
         if resource is not None:
             resource._service_done()
         if task._dependents:
@@ -413,7 +486,7 @@ class SimEngine:
         if task.state == _PENDING:
             raise SimError(f"cannot wait on unsubmitted task {task.name!r}")
         heap = self._heap
-        pop = heapq.heappop
+        pop = _heappop
         clock = self.clock
         while True:
             if task.state == _ABORTED:
@@ -445,7 +518,7 @@ class SimEngine:
     def run_until_idle(self) -> float:
         """Drain all queued events; return the final simulated time."""
         heap = self._heap
-        pop = heapq.heappop
+        pop = _heappop
         clock = self.clock
         while heap:
             time, _, fn, arg = pop(heap)
@@ -458,6 +531,34 @@ class SimEngine:
             raise SimError(f"{self._open_tasks} task(s) never completed (cycle?)")
         return self.now
 
+    def run_until_time(self, time: float) -> float:
+        """Process every event with timestamp <= ``time``; land the clock on
+        ``time``.
+
+        The open-loop replay driver alternates ``schedule_batch`` (inject
+        the next epoch of arrivals) with ``run_until_time`` (advance to the
+        epoch boundary); unlike :meth:`run_until` it needs no sentinel task,
+        and unlike :meth:`run_until_idle` it leaves future events queued.
+        Events scheduled *during* processing are honoured when they also
+        fall inside the window.
+        """
+        clock = self.clock
+        if time < clock._now:
+            raise SimError(
+                f"cannot run backwards to {time} (now {clock._now})"
+            )
+        heap = self._heap
+        pop = _heappop
+        while heap and heap[0][0] <= time:
+            t, _, fn, arg = pop(heap)
+            clock._now = t
+            if arg is None:
+                fn()
+            else:
+                fn(arg)
+        clock._now = time
+        return time
+
     def elapse(self, duration: float, category: str = "host", name: str = "host-delay") -> None:
         """Advance the simulated host by ``duration`` seconds.
 
@@ -466,11 +567,3 @@ class SimEngine:
         """
         sleeper = self.task(name, duration, category=category)
         self.run_until(sleeper)
-
-    def _step(self) -> None:
-        time, _, fn, arg = heapq.heappop(self._heap)
-        self.clock.advance_to(time)
-        if arg is None:
-            fn()
-        else:
-            fn(arg)

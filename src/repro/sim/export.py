@@ -17,11 +17,17 @@ Simulated times are seconds; Chrome expects microseconds.
 from __future__ import annotations
 
 import json
-from typing import Dict, Optional
+from typing import Dict, Iterator, List, Optional
 
-from repro.sim.trace import Trace
+from repro.sim.trace import Trace, TraceInterval, TraceSink
 
-__all__ = ["to_chrome_trace", "write_chrome_trace", "utilization_report"]
+__all__ = [
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "utilization_report",
+    "JsonlTraceSink",
+    "read_jsonl_trace",
+]
 
 #: Stable colour names (Chrome trace palette) per category.
 _COLORS = {
@@ -98,6 +104,61 @@ def write_chrome_trace(trace: Trace, path: str) -> str:
     with open(path, "w") as fh:
         json.dump(to_chrome_trace(trace), fh)
     return path
+
+
+class JsonlTraceSink(TraceSink):
+    """Spill streamed trace intervals to a JSON-Lines file.
+
+    One JSON object per interval, written batch-at-a-time as the streaming
+    :class:`~repro.sim.trace.Trace` spills, so a replay of millions of
+    commands keeps a full on-disk trace while holding only the spill batch
+    resident.  Metadata-free intervals omit the ``meta`` key entirely —
+    at production scale the empty-dict column would dominate the file.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._fh = open(path, "w")
+        self.written = 0
+
+    def consume(self, intervals: List[TraceInterval]) -> None:
+        dumps = json.dumps
+        lines = []
+        for iv in intervals:
+            obj = {
+                "resource": iv.resource,
+                "task": iv.task,
+                "category": iv.category,
+                "start": iv.start,
+                "end": iv.end,
+            }
+            if iv.meta:
+                obj["meta"] = dict(iv.meta)
+            lines.append(dumps(obj))
+        lines.append("")  # trailing newline for the batch
+        self._fh.write("\n".join(lines))
+        self.written += len(intervals)
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.close()
+
+
+def read_jsonl_trace(path: str) -> Iterator[TraceInterval]:
+    """Stream intervals back from a :class:`JsonlTraceSink` file."""
+    with open(path) as fh:
+        for line in fh:
+            if not line.strip():
+                continue
+            obj = json.loads(line)
+            yield TraceInterval(
+                obj["resource"],
+                obj["task"],
+                obj["category"],
+                obj["start"],
+                obj["end"],
+                obj.get("meta") or {},
+            )
 
 
 def utilization_report(

@@ -18,10 +18,11 @@ of a full O(n) scan per accounting call.
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from types import MappingProxyType
 from typing import Any, Callable, Dict, Iterable, Iterator, List, Mapping, NamedTuple, Optional, Tuple
 
-__all__ = ["TraceInterval", "Trace", "FAULT_CATEGORY", "RECOVERY_CATEGORY"]
+__all__ = ["TraceInterval", "Trace", "TraceSink", "FAULT_CATEGORY", "RECOVERY_CATEGORY"]
 
 #: Shared default for metadata-free intervals.  Immutable on purpose: the
 #: previous plain ``{}`` class default was aliased by *every*
@@ -59,12 +60,40 @@ class TraceInterval(NamedTuple):
         return self.end - self.start
 
 
+class TraceSink:
+    """Consumer of spilled interval batches from a streaming :class:`Trace`.
+
+    Attach one with :meth:`Trace.attach_sink` and the trace stops holding
+    every interval resident: whenever the resident tail reaches the spill
+    threshold it is handed — as one list, ownership transferred — to
+    :meth:`consume`.  Implementations fold the batch into whatever compact
+    summary they maintain (latency histograms, per-category totals) or
+    append it to disk (:class:`~repro.sim.export.JsonlTraceSink`), keeping
+    host memory flat at millions of intervals.
+    """
+
+    def consume(self, intervals: List[TraceInterval]) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release any held resources (files); called by the owner."""
+
+
 class Trace:
     """Append-only, lazily indexed collection of :class:`TraceInterval`.
 
     Mutations (:meth:`record` / :meth:`extend`) only append to the primary
     list; queries first fold not-yet-indexed intervals into the secondary
     indexes (:meth:`_catch_up`), then answer from the indexes.
+
+    With a sink attached (:meth:`attach_sink`) the trace runs in
+    *streaming* mode: intervals beyond the spill threshold are folded into
+    the running ``(resource, category)`` aggregates — so
+    :meth:`total_time` / :meth:`count` / :meth:`by_resource` /
+    :meth:`counts_by_resource` stay exact over the whole run — and then
+    handed to the sink and dropped.  Per-interval queries (:meth:`filter`,
+    :meth:`between`, iteration, ``len``) cover only the resident tail in
+    that mode; :attr:`total_recorded` counts everything ever recorded.
     """
 
     def __init__(self) -> None:
@@ -78,6 +107,16 @@ class Trace:
         #: (resource, category) -> [summed seconds, interval count]
         self._aggregates: Dict[Tuple[str, str], List[float]] = {}
         self._indexed_upto = 0
+        # Streaming mode (attach_sink): spill threshold (0 = resident
+        # trace, the default) and intervals handed to the sink so far.
+        self._sink: Optional[TraceSink] = None
+        self._spill_at = 0
+        self._spilled = 0
+        # Lazily built sorted start index for between(); _start_index_n is
+        # the interval count it was built at (-1 = invalid).
+        self._start_keys: List[float] = []
+        self._start_order: List[int] = []
+        self._start_index_n = -1
 
     def record(
         self,
@@ -96,6 +135,67 @@ class Trace:
             TraceInterval(resource, task, category, start, end,
                           meta if meta is not None else EMPTY_META)
         )
+        if self._spill_at and len(self._intervals) >= self._spill_at:
+            self._spill()
+
+    # ------------------------------------------------------------------
+    # Streaming sink
+    # ------------------------------------------------------------------
+    def attach_sink(self, sink: TraceSink, spill_every: int = 16384) -> None:
+        """Switch to streaming mode: spill to ``sink`` every ``spill_every``
+        intervals.
+
+        The running aggregates keep covering spilled intervals, so
+        whole-run totals remain exact; per-interval queries are restricted
+        to the resident (not yet spilled) tail from here on.
+        """
+        if spill_every < 1:
+            raise ValueError(f"spill_every must be >= 1, got {spill_every}")
+        if self._sink is not None:
+            raise ValueError("trace already has a sink attached")
+        self._sink = sink
+        self._spill_at = int(spill_every)
+
+    def _spill(self) -> None:
+        """Hand the resident intervals to the sink and drop them."""
+        intervals = self._intervals
+        if not intervals:
+            return
+        # Fold the not-yet-indexed tail into the aggregates first (the
+        # indexed prefix is already in); then the per-interval index lists
+        # go with the intervals themselves.
+        aggregates = self._aggregates
+        for iv in intervals[self._indexed_upto:]:
+            agg = aggregates.get((iv.resource, iv.category))
+            if agg is None:
+                aggregates[(iv.resource, iv.category)] = [iv.end - iv.start, 1]
+            else:
+                agg[0] += iv.end - iv.start
+                agg[1] += 1
+        self._spilled += len(intervals)
+        self._intervals = []
+        self._by_resource.clear()
+        self._by_category.clear()
+        self._indexed_upto = 0
+        self._start_index_n = -1
+        assert self._sink is not None
+        self._sink.consume(intervals)
+
+    def flush(self) -> None:
+        """Spill any resident intervals to the sink regardless of threshold
+        (no-op on a resident trace)."""
+        if self._sink is not None:
+            self._spill()
+
+    @property
+    def spilled_count(self) -> int:
+        """Intervals handed to the sink so far (0 on a resident trace)."""
+        return self._spilled
+
+    @property
+    def total_recorded(self) -> int:
+        """All intervals ever recorded: resident tail + spilled."""
+        return self._spilled + len(self._intervals)
 
     def _catch_up(self) -> None:
         """Fold intervals appended since the last query into the indexes."""
@@ -226,9 +326,33 @@ class Trace:
         return out
 
     def between(self, t0: float, t1: float) -> List[TraceInterval]:
-        """Intervals whose *start* falls within ``[t0, t1)``."""
-        return [iv for iv in self._intervals if t0 <= iv.start < t1]
+        """Intervals whose *start* falls within ``[t0, t1)``.
+
+        Answered with bisect over a lazily built sorted start index —
+        O(log n + matches·log matches) per query once built, rebuilt only
+        after an append burst — instead of a full linear scan per call.
+        Results keep recording order, matching the linear-scan reference
+        (starts are not globally sorted: a long task started early can
+        finish, and thus be recorded, late).  Tiny traces take the plain
+        scan; in streaming mode the window covers the resident tail only.
+        """
+        intervals = self._intervals
+        n = len(intervals)
+        if n < 64:
+            return [iv for iv in intervals if t0 <= iv.start < t1]
+        if self._start_index_n != n:
+            pairs = sorted((iv.start, i) for i, iv in enumerate(intervals))
+            self._start_keys = [start for start, _ in pairs]
+            self._start_order = [i for _, i in pairs]
+            self._start_index_n = n
+        lo = bisect_left(self._start_keys, t0)
+        hi = bisect_left(self._start_keys, t1)
+        if lo >= hi:
+            return []
+        return [intervals[i] for i in sorted(self._start_order[lo:hi])]
 
     def extend(self, intervals: Iterable[TraceInterval]) -> None:
         """Bulk-append intervals (used when merging traces in tests)."""
         self._intervals.extend(intervals)
+        if self._spill_at and len(self._intervals) >= self._spill_at:
+            self._spill()

@@ -182,3 +182,150 @@ def test_parallel_resources_makespan_is_max_of_loads(durations, n_resources):
         loads[i % n_resources] += d
     engine.run_until_idle()
     assert engine.now == pytest.approx(max(loads))
+
+
+# ---------------------------------------------------------------------------
+# Batched injection (schedule_batch) and epoch advancement (run_until_time):
+# the open-loop replay hot path.
+# ---------------------------------------------------------------------------
+
+
+def test_schedule_batch_equivalent_to_schedule_at():
+    times = [0.5, 3.0, 1.25, 1.25, 2.0, 0.75]
+    ran_batch, ran_single = [], []
+
+    batch_engine = SimEngine()
+    batch_engine.schedule_batch(
+        (t, ran_batch.append, t) for t in times
+    )
+    batch_engine.run_until_idle()
+
+    single_engine = SimEngine()
+    for t in times:
+        single_engine.schedule_at(t, lambda t=t: ran_single.append(t))
+    single_engine.run_until_idle()
+
+    assert ran_batch == ran_single == sorted(times)
+    assert batch_engine.now == single_engine.now == 3.0
+
+
+def test_schedule_batch_arg_convention(engine):
+    """arg=None means fn(); any payload means fn(arg) — no lambda needed."""
+    calls = []
+    engine.schedule_batch(
+        [
+            (1.0, lambda: calls.append("plain"), None),
+            (2.0, calls.append, "payload"),
+        ]
+    )
+    engine.run_until_idle()
+    assert calls == ["plain", "payload"]
+
+
+def test_schedule_batch_sorted_adoption_skips_heapify(engine):
+    # Empty heap + pre-sorted batch: adopted by plain extend, so the
+    # rebuild counter must stay untouched.
+    ran = []
+    n = engine.schedule_batch(
+        [(float(i), ran.append, i) for i in range(100)]
+    )
+    assert n == 100
+    assert engine.heap_generation == 0
+    engine.run_until_idle()
+    assert ran == list(range(100))
+
+
+def test_schedule_batch_large_unsorted_heapifies_once(engine):
+    engine.schedule_at(5.0, lambda: None)
+    ran = []
+    engine.schedule_batch([(3.0, ran.append, "b"), (1.0, ran.append, "a")])
+    assert engine.heap_generation == 1  # one rebuild for the whole epoch
+    engine.run_until_idle()
+    assert ran == ["a", "b"]
+
+
+def test_schedule_batch_small_batch_pushes_individually(engine):
+    # A tiny batch against a big pending heap must not trigger an O(total)
+    # re-heapify.
+    for i in range(40):
+        engine.schedule_at(float(i + 10), lambda: None)
+    ran = []
+    engine.schedule_batch([(2.0, ran.append, "x")])
+    assert engine.heap_generation == 0
+    engine.run_until_time(3.0)
+    assert ran == ["x"]
+
+
+def test_schedule_batch_rejects_past_times(engine):
+    engine.schedule_at(2.0, lambda: None)
+    engine.run_until_time(2.0)
+    with pytest.raises(SimError):
+        engine.schedule_batch([(1.0, lambda: None, None)])
+
+
+def test_schedule_batch_empty(engine):
+    assert engine.schedule_batch([]) == 0
+    assert engine.heap_generation == 0
+
+
+def test_run_until_time_lands_clock_exactly(engine):
+    ran = []
+    engine.schedule_at(1.0, lambda: ran.append(1.0))
+    engine.schedule_at(2.5, lambda: ran.append(2.5))
+    engine.schedule_at(7.0, lambda: ran.append(7.0))
+    assert engine.run_until_time(4.0) == 4.0
+    assert engine.now == 4.0  # between events: clock still lands on time
+    assert ran == [1.0, 2.5]
+    engine.run_until_time(7.0)  # boundary event (<= time) is processed
+    assert ran == [1.0, 2.5, 7.0]
+    assert engine.now == 7.0
+
+
+def test_run_until_time_rejects_backwards(engine):
+    engine.run_until_time(5.0)
+    with pytest.raises(SimError):
+        engine.run_until_time(4.0)
+    assert engine.run_until_time(5.0) == 5.0  # same time is a no-op
+
+
+def test_run_until_time_honours_events_scheduled_during_processing(engine):
+    ran = []
+
+    def first():
+        ran.append("first")
+        engine.schedule_after(1.0, lambda: ran.append("inside"))
+        engine.schedule_after(10.0, lambda: ran.append("outside"))
+
+    engine.schedule_at(1.0, first)
+    engine.run_until_time(5.0)
+    assert ran == ["first", "inside"]  # 2.0 <= 5.0 ran; 11.0 stayed queued
+    engine.run_until_idle()
+    assert ran == ["first", "inside", "outside"]
+
+
+def test_run_until_time_with_resource_tasks(engine):
+    # Arrivals injected as a batch feed a FIFO resource; advancing to an
+    # epoch boundary completes exactly the work that fits.
+    r = FifoResource(engine, "dev")
+    done = []
+
+    def arrive(name):
+        t = engine.task(name, 1.0, resource=r)
+        t.on_complete(lambda task: done.append(task.name))
+
+    engine.schedule_batch([(0.0, arrive, "a"), (0.5, arrive, "b"), (4.0, arrive, "c")])
+    engine.run_until_time(2.0)
+    # a: 0..1, b (queued behind a): 1..2 complete; c hasn't even arrived.
+    assert done == ["a", "b"]
+    assert engine.now == 2.0
+    engine.run_until_idle()
+    assert done == ["a", "b", "c"]
+    assert engine.now == pytest.approx(5.0)
+
+
+def test_arrival_time_slot_roundtrip(engine):
+    t = engine.task("req", 1.0)
+    assert t.arrival_time is None  # unset unless a replayer stamps it
+    t.arrival_time = 0.25
+    engine.run_until_idle()
+    assert t.end_time - t.arrival_time == pytest.approx(0.75)

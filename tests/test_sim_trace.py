@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim.trace import Trace, TraceInterval
+from repro.sim.trace import Trace, TraceInterval, TraceSink
 
 
 @pytest.fixture
@@ -203,3 +203,177 @@ def test_indexes_match_linear_scan_under_interleaving():
     trace.record("dev:cpu", "last", "kernel", t, t + 1.0)
     ref.record("dev:cpu", "last", "kernel", t, t + 1.0)
     _assert_matches_reference(trace, ref)
+
+
+# ---------------------------------------------------------------------------
+# between(): the bisect fast path (n >= 64) must answer identically to the
+# linear-scan reference, including with starts out of recording order.
+# ---------------------------------------------------------------------------
+
+
+def _between_reference(intervals, t0, t1):
+    return [iv for iv in intervals if t0 <= iv.start < t1]
+
+
+def _build_unsorted_start_trace(n):
+    """Record order != start order: long tasks started early finish late."""
+    trace = Trace()
+    recorded = []
+    for i in range(n):
+        # Starts bounce around: 0.0, 9.7, 0.2, 9.5, ... (not monotone).
+        start = (9.7 - 0.2 * i) if i % 2 else 0.1 * i
+        iv = TraceInterval(f"dev:{i % 3}", f"t{i}", "kernel", start, start + 0.3)
+        trace.record(iv.resource, iv.task, iv.category, iv.start, iv.end)
+        recorded.append(iv)
+    return trace, recorded
+
+
+def test_between_bisect_matches_linear_scan_golden():
+    trace, recorded = _build_unsorted_start_trace(120)
+    assert len(trace) >= 64  # large enough to take the bisect path
+    windows = [
+        (0.0, 12.0),   # everything
+        (2.0, 5.0),
+        (4.999, 5.0),  # half-open: start == t1 excluded
+        (5.0, 5.0),    # empty window
+        (-3.0, 0.05),
+        (11.0, 50.0),
+        (0.3, 9.31),
+    ]
+    for t0, t1 in windows:
+        assert trace.between(t0, t1) == _between_reference(recorded, t0, t1)
+
+
+def test_between_index_rebuilds_after_appends():
+    trace, recorded = _build_unsorted_start_trace(80)
+    before = trace.between(0.0, 100.0)  # builds the index at n=80
+    assert before == _between_reference(recorded, 0.0, 100.0)
+    # Append more with starts far earlier than everything resident: a stale
+    # index would miss them.
+    for i in range(10):
+        iv = TraceInterval("dev:new", f"n{i}", "kernel", -50.0 - i, -49.5 - i)
+        trace.record(iv.resource, iv.task, iv.category, iv.start, iv.end)
+        recorded.append(iv)
+    assert trace.between(-100.0, -40.0) == _between_reference(
+        recorded, -100.0, -40.0
+    )
+    assert trace.between(0.0, 100.0) == before
+
+
+def test_between_small_trace_uses_same_semantics(trace):
+    # Below the bisect threshold: plain scan, same half-open contract.
+    assert trace.between(0.0, 1.0) == _between_reference(list(trace), 0.0, 1.0)
+    assert trace.between(1.0, 1.0) == []
+
+
+# ---------------------------------------------------------------------------
+# Streaming sink: flat resident memory, exact whole-run aggregates.
+# ---------------------------------------------------------------------------
+
+
+class _CollectingSink(TraceSink):
+    def __init__(self):
+        self.batches = []
+        self.closed = False
+
+    def consume(self, intervals):
+        self.batches.append(intervals)
+
+    def close(self):
+        self.closed = True
+
+
+def _record_n(trace, n, offset=0):
+    for i in range(offset, offset + n):
+        trace.record(f"dev:{i % 2}", f"t{i}", "kernel", float(i), i + 0.5)
+
+
+def test_attach_sink_validation():
+    trace = Trace()
+    with pytest.raises(ValueError, match="spill_every"):
+        trace.attach_sink(_CollectingSink(), spill_every=0)
+    trace.attach_sink(_CollectingSink(), spill_every=4)
+    with pytest.raises(ValueError, match="already has a sink"):
+        trace.attach_sink(_CollectingSink())
+
+
+def test_streaming_spills_keep_resident_bounded():
+    trace = Trace()
+    sink = _CollectingSink()
+    trace.attach_sink(sink, spill_every=8)
+    _record_n(trace, 30)
+    assert len(trace) < 8  # resident tail never reaches the threshold
+    assert trace.spilled_count == 24
+    assert trace.total_recorded == 30
+    assert [len(b) for b in sink.batches] == [8, 8, 8]
+    # Nothing lost and nothing duplicated, in recording order.
+    spilled_tasks = [iv.task for b in sink.batches for iv in b]
+    resident_tasks = [iv.task for iv in trace]
+    assert spilled_tasks + resident_tasks == [f"t{i}" for i in range(30)]
+
+
+def test_streaming_aggregates_stay_exact_across_spills():
+    streaming, resident = Trace(), Trace()
+    streaming.attach_sink(_CollectingSink(), spill_every=5)
+    for t in (streaming, resident):
+        _record_n(t, 43)
+    # Whole-run accounting answers identically even though the streaming
+    # trace only holds the tail resident.
+    assert streaming.total_time() == pytest.approx(resident.total_time())
+    assert streaming.count() == resident.count() == 43
+    assert streaming.by_resource() == pytest.approx(resident.by_resource())
+    assert streaming.counts_by_resource() == resident.counts_by_resource()
+    assert streaming.total_time("dev:0", "kernel") == pytest.approx(
+        resident.total_time("dev:0", "kernel")
+    )
+    # Per-interval queries cover the resident tail only, by contract.
+    assert len(streaming) < 5 < len(resident)
+
+
+def test_streaming_spill_after_queries_preserves_aggregates():
+    # A query between spills indexes the resident prefix; the next spill
+    # must not double-count those already-aggregated intervals.
+    trace = Trace()
+    trace.attach_sink(_CollectingSink(), spill_every=10)
+    _record_n(trace, 7)
+    assert trace.count() == 7  # forces indexing of the resident 7
+    _record_n(trace, 7, offset=7)  # crosses the threshold -> spill
+    assert trace.spilled_count >= 10
+    assert trace.count() == 14
+    assert trace.total_time() == pytest.approx(0.5 * 14)
+
+
+def test_flush_spills_tail_and_close_is_callers_job():
+    trace = Trace()
+    sink = _CollectingSink()
+    trace.attach_sink(sink, spill_every=100)
+    _record_n(trace, 9)
+    assert trace.spilled_count == 0
+    trace.flush()
+    assert trace.spilled_count == 9
+    assert len(trace) == 0
+    assert trace.total_recorded == 9
+    trace.flush()  # idempotent on an empty tail
+    assert trace.spilled_count == 9
+    assert not sink.closed
+    sink.close()
+    assert sink.closed
+
+
+def test_flush_noop_without_sink(trace):
+    trace.flush()
+    assert len(trace) == 5
+    assert trace.spilled_count == 0
+    assert trace.total_recorded == 5
+
+
+def test_extend_triggers_spill():
+    trace = Trace()
+    sink = _CollectingSink()
+    trace.attach_sink(sink, spill_every=4)
+    trace.extend(
+        TraceInterval("r", f"t{i}", "c", float(i), i + 1.0) for i in range(6)
+    )
+    assert trace.spilled_count == 6
+    assert len(trace) == 0
+    assert trace.count() == 6
