@@ -276,6 +276,73 @@ def bench_replay_throughput() -> float:
     return run_tenant(config, 0).checksum
 
 
+_PREDICT_DIR = None
+
+
+def _predict_model():
+    """Fit-once/load-many predictor model shared across repeats."""
+    global _PREDICT_DIR
+    from repro.hardware.presets import aji_cluster15_node
+    from repro.predict import load_or_fit
+
+    if _PREDICT_DIR is None:
+        _PREDICT_DIR = tempfile.mkdtemp(prefix="perf-baseline-predict-")
+    model, _ = load_or_fit(aji_cluster15_node(), _PREDICT_DIR)
+    return model
+
+
+def bench_predict_fit() -> float:
+    """Offline ridge fit over the full probe corpus (plain-Python normal
+    equations; ~1.2k probes across three devices on a throwaway engine).
+
+    The checksum folds one prediction per device from the freshly fitted
+    model, so any change to the corpus, the feature basis, or the solver
+    changes it.
+    """
+    from repro.hardware.presets import aji_cluster15_node
+    from repro.predict import PredictorModel
+    from repro.predict.features import extract_program
+
+    model = PredictorModel.fit(aji_cluster15_node())
+    src = (
+        "// @multicl flops_per_item=220 bytes_per_item=8 divergence=0.1 "
+        "irregularity=0.2 cpu_eff=0.9 gpu_eff=0.6 writes=1\n"
+        "__kernel void scale(__global float* a, int n) { }\n"
+    )
+    feat = extract_program(src)["scale"]
+    total = 0.0
+    for _, seconds in sorted(model.predict(feat, 1 << 16).items()):
+        total += seconds * 1e6
+    return total
+
+
+def bench_predict_infer() -> float:
+    """Inference hot path: feature extraction + confidence + prediction for
+    a batch of kernels against a warm fitted model (the per-epoch cost the
+    scheduler pays when prediction replaces profiling)."""
+    from repro.predict import Predictor
+    from repro.predict.features import extract_program
+
+    model = _predict_model()
+    kinds = {"cpu": "cpu", "gpu0": "gpu", "gpu1": "gpu"}
+    predictor = Predictor(model, kinds=kinds, overheads={})
+    total = 0.0
+    for i in range(64):
+        flops = 10.0 + 13.0 * (i % 17)
+        nbytes = 4.0 + 8.0 * (i % 5)
+        src = (
+            f"// @multicl flops_per_item={flops!r} bytes_per_item={nbytes!r} "
+            f"divergence=0.1 irregularity=0.1 writes=1\n"
+            f"__kernel void k{i}(__global float* a, int n) {{ }}\n"
+        )
+        feat = extract_program(src)[f"k{i}"]
+        n = 1 << (10 + i % 8)
+        for device in sorted(kinds):
+            total += predictor.confidence(feat, device, n)
+            total += predictor.predict_seconds(feat, device, n) * 1e6
+    return total
+
+
 BENCHES = {
     "engine_event_throughput": bench_engine_event_throughput,
     "mapper_solve_8x4": bench_mapper_solve_8x4,
@@ -287,6 +354,8 @@ BENCHES = {
     "parallel_sweep": bench_parallel_sweep,
     "tenant_service": bench_tenant_service,
     "replay_throughput": bench_replay_throughput,
+    "predict_fit": bench_predict_fit,
+    "predict_infer": bench_predict_infer,
 }
 
 

@@ -908,6 +908,83 @@ def _baselines_merge(fast: bool, payloads: List[Any]) -> ExperimentResult:
 
 
 # ---------------------------------------------------------------------------
+# Predicted vs profiled: the repro.predict ablation
+# ---------------------------------------------------------------------------
+def _predicted_units(fast: bool) -> List[Any]:
+    return list(_fig3_classes(fast).items())
+
+
+def _predicted_unit(key: Any, fast: bool) -> Dict[str, Any]:
+    """One benchmark under AUTO_FIT, profiled vs predicted.
+
+    The predicted run replaces every first-sight profiling epoch with the
+    static-feature model (:mod:`repro.predict`): kernels are costed from
+    parsed source before launch, so the scheduler maps them without ever
+    running a measurement.  The table reports the makespan delta that
+    costs and the fraction of profiling work it eliminates.
+    """
+    name, pc = key
+    profiled = run_npb(
+        _make_app(name, pc, 4, fast), mode="auto", profile_dir=_profile_dir()
+    )
+    predicted = run_npb(
+        _make_app(name, pc, 4, fast),
+        mode="auto",
+        config=SchedulerConfig(predict=True),
+        profile_dir=_profile_dir(),
+    )
+    base = profiled.profiler_stats
+    pred = predicted.profiler_stats
+    runs_base = base.get("profiling_runs", 0)
+    runs_pred = pred.get("profiling_runs", 0)
+    eliminated = (
+        100.0 * (runs_base - runs_pred) / runs_base if runs_base else 0.0
+    )
+    return {
+        "benchmark": f"{name}.{pc}",
+        "profiled_s": profiled.seconds,
+        "predicted_s": predicted.seconds,
+        "makespan_delta_pct": 100.0
+        * (predicted.seconds - profiled.seconds)
+        / profiled.seconds,
+        "measurements": pred.get("kernels_measured", 0),
+        "kernels_predicted": pred.get("kernels_predicted", 0),
+        "declines": pred.get("predict_declines", 0),
+        "profiling_epochs_eliminated_pct": eliminated,
+    }
+
+
+def _predicted_merge(fast: bool, payloads: List[Any]) -> ExperimentResult:
+    res = ExperimentResult(
+        name="predicted_vs_profiled",
+        title="Predicted vs profiled scheduling: static-feature model "
+        "replacing first-epoch measurement (AUTO_FIT, 4 queues)",
+        columns=[
+            "benchmark",
+            "profiled_s",
+            "predicted_s",
+            "makespan_delta_pct",
+            "measurements",
+            "kernels_predicted",
+            "declines",
+            "profiling_epochs_eliminated_pct",
+        ],
+    )
+    for row in payloads:
+        res.add(**row)
+    worst = max(abs(r["makespan_delta_pct"]) for r in payloads)
+    eliminated = [r["profiling_epochs_eliminated_pct"] for r in payloads]
+    res.notes.append(
+        f"shape claim: predicted scheduling stays within 15% of the "
+        f"fully-profiled makespan (worst |delta| here {worst:.1f}%; "
+        f"negative deltas mean the predicted run is *faster* — it skips "
+        f"the profiling epoch) while eliminating >=90% of profiling "
+        f"epochs (mean {sum(eliminated) / len(eliminated):.0f}%)."
+    )
+    return res
+
+
+# ---------------------------------------------------------------------------
 # Cluster mode: scheduling over remote accelerators (SnuCL cluster mode)
 # ---------------------------------------------------------------------------
 def _cluster_units(fast: bool) -> List[Any]:
@@ -1126,6 +1203,11 @@ REGISTRY: Dict[str, Experiment] = {
         units=_robustness_units, run_unit=_robustness_unit,
         merge=_robustness_merge,
     ),
+    "predicted_vs_profiled": Experiment(
+        describe="Static-feature prediction vs dynamic profiling",
+        units=_predicted_units, run_unit=_predicted_unit,
+        merge=_predicted_merge,
+    ),
     "cluster": Experiment(
         describe="MultiCL over SnuCL cluster mode (extension)",
         units=_cluster_units, run_unit=_cluster_unit, merge=_cluster_merge,
@@ -1201,6 +1283,7 @@ fig8 = _composed("fig8")
 fig9 = _composed("fig9")
 ablations = _composed("ablations")
 robustness = _composed("robustness")
+predicted_vs_profiled = _composed("predicted_vs_profiled")
 cluster = _composed("cluster")
 baselines = _composed("baselines")
 

@@ -23,7 +23,14 @@ from typing import Optional
 
 from repro.ocl.enums import SchedFlag
 
-__all__ = ["ScheduleOptions", "SchedulerConfig", "CONFIG_PROPERTY_KEY"]
+__all__ = [
+    "ScheduleOptions",
+    "SchedulerConfig",
+    "CONFIG_PROPERTY_KEY",
+    "PREDICT_ENV",
+    "PREDICT_TOLERANCE_ENV",
+    "PREDICT_CONFIDENCE_ENV",
+]
 
 #: SchedFlag value -> the (frozen) options instance it denotes.
 _OPTIONS_MEMO: dict = {}
@@ -36,6 +43,22 @@ CONFIG_PROPERTY_KEY = "multicl.config"
 #: ("the user can set a program environment flag to denote the iterative
 #: scheduler frequency", Section V.C.1).  0 = never re-profile.
 ITERATIVE_FREQ_ENV = "MULTICL_ITERATIVE_FREQUENCY"
+
+#: Enable profiling-free scheduling from static kernel features
+#: (:mod:`repro.predict`).  "1"/"true"/"yes"/"on" enable, anything else
+#: disables.  Off by default: prediction changes mapping decisions, and
+#: all paper-reproduction figures are defined against measured profiles.
+PREDICT_ENV = "MULTICL_PREDICT"
+
+#: Relative observed-vs-predicted error above which the corrector folds the
+#: observation back into the model (float, default 0.25).
+PREDICT_TOLERANCE_ENV = "MULTICL_PREDICT_TOLERANCE"
+
+#: Minimum predictor confidence (leverage-gated, in [0, 1]) required to
+#: skip measurement for a kernel (float, default 0.5).
+PREDICT_CONFIDENCE_ENV = "MULTICL_PREDICT_CONFIDENCE"
+
+_TRUE_WORDS = frozenset({"1", "true", "yes", "on"})
 
 
 @dataclass(frozen=True)
@@ -65,6 +88,20 @@ class SchedulerConfig:
     #: robustness ablation: how wrong can measurements be before the
     #: mapper starts mispicking devices?
     measurement_noise: float = 0.0
+    #: Consult the static-feature predictor (:mod:`repro.predict`) before
+    #: measuring: kernels whose predicted confidence clears the threshold
+    #: are scheduled with zero profiling launches.  Off by default — the
+    #: paper's figures are defined against measured profiles.
+    predict: bool = False
+    #: Corrector-loop tolerance: when a kernel *is* measured (decline or
+    #: iterative refresh) and the prediction's relative error exceeds this,
+    #: the observation is folded back into the model.
+    predict_tolerance: float = 0.25
+    #: Minimum leverage-gated confidence required to skip measurement.
+    predict_confidence: float = 0.5
+    #: Directory holding fitted predictor models ("" = resolve from
+    #: ``MULTICL_PREDICT_DIR``, else the profile cache directory).
+    predict_dir: str = ""
 
     def with_(self, **kw) -> "SchedulerConfig":
         """Functional update helper."""
@@ -86,6 +123,26 @@ class SchedulerConfig:
                 )
             else:
                 cfg = cfg.with_(iterative_refresh=max(0, value))
+        predict = os.environ.get(PREDICT_ENV)
+        if predict is not None:
+            cfg = cfg.with_(predict=predict.strip().lower() in _TRUE_WORDS)
+        for env, attr in (
+            (PREDICT_TOLERANCE_ENV, "predict_tolerance"),
+            (PREDICT_CONFIDENCE_ENV, "predict_confidence"),
+        ):
+            raw = os.environ.get(env)
+            if raw is None:
+                continue
+            try:
+                value_f = float(raw)
+            except ValueError:
+                warnings.warn(
+                    f"ignoring invalid {env}={raw!r}: expected a float",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+            else:
+                cfg = cfg.with_(**{attr: max(0.0, value_f)})
         return cfg
 
 

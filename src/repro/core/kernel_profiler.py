@@ -66,6 +66,12 @@ class ProfilerStats:
     refreshes: int = 0
     #: cached per-device measurements dropped after device failures
     invalidations: int = 0
+    #: per-device entries filled by the static-feature predictor instead of
+    #: a profiling launch (zero measured seconds charged)
+    kernels_predicted: int = 0
+    #: kernels the predictor declined (low confidence / custom cost model),
+    #: falling back to measurement
+    predict_declines: int = 0
 
 
 @dataclass
@@ -88,6 +94,11 @@ class KernelProfiler:
         self.epoch_cache: Dict[EpochKey, Dict[str, float]] = {}
         self.stats = ProfilerStats()
         self._trigger_count = 0
+        #: static-feature predictor (:class:`repro.predict.Predictor`),
+        #: attached by the scheduler when ``config.predict`` is set.  When
+        #: present, confidently predicted kernels skip measurement entirely
+        #: and every real measurement is fed back as a correction.
+        self.predictor = None
 
     # ------------------------------------------------------------------
     # Cache keys
@@ -116,6 +127,7 @@ class KernelProfiler:
         devices and charge their time to the shared clock.
         """
         self._trigger_count += 1
+        refreshed = False
         if (
             self.config.iterative_refresh
             and self._trigger_count % self.config.iterative_refresh == 0
@@ -124,6 +136,7 @@ class KernelProfiler:
             self.kernel_cache.clear()
             self.epoch_cache.clear()
             self.stats.refreshes += 1
+            refreshed = True
 
         kernel_cmds = [c for c in commands if c.is_kernel]
         devices = list(self.context.active_device_names)
@@ -140,8 +153,21 @@ class KernelProfiler:
             kkey = self.kernel_key(cmd)
             if self.config.profile_caching and kkey in self.kernel_cache:
                 self.stats.kernel_cache_hits += 1
-            elif not any(self.kernel_key(m) == kkey for m in missing):
-                missing.append(cmd)
+                continue
+            if any(self.kernel_key(m) == kkey for m in missing):
+                continue
+            # Predict-first gate: a confidently predicted kernel never runs
+            # a profiling launch.  Refresh epochs deliberately skip the
+            # gate — their whole point is fresh measurements, which then
+            # flow through observe() as corrections to the model.
+            if self.predictor is not None and not refreshed:
+                predicted = self.predictor.predict_command(cmd, devices)
+                if predicted is not None:
+                    self.kernel_cache[kkey] = predicted
+                    self.stats.kernels_predicted += len(predicted)
+                    continue
+                self.stats.predict_declines += 1
+            missing.append(cmd)
 
         if missing:
             self._measure(missing, devices, options)
@@ -166,7 +192,8 @@ class KernelProfiler:
         Columns for surviving devices stay valid — a kernel's cost on gpu0
         does not change because gpu1 died — so iterative workloads keep
         their cache warm through a failure.  Returns the number of cache
-        entries touched.
+        entries touched, including residual/correction records dropped from
+        the attached predictor (if any).
         """
         removed = 0
         for per_dev in self.kernel_cache.values():
@@ -177,6 +204,11 @@ class KernelProfiler:
             if device in per_dev:
                 del per_dev[device]
                 removed += 1
+        if self.predictor is not None:
+            # Propagate to the attached predictor: the failed device's
+            # residuals and online corrections must not poison re-fits
+            # after recovery.
+            removed += self.predictor.invalidate_device(device)
         self.stats.invalidations += removed
         return removed
 
@@ -246,6 +278,12 @@ class KernelProfiler:
                 else:
                     per_dev[dev_name] = t
             self.kernel_cache[kkey] = per_dev
+            if self.predictor is not None:
+                # Corrector loop: every real measurement is compared against
+                # the prediction; a residual above the tolerance re-fits the
+                # model online (the dynamic profiler stays the corrector).
+                for dev_name in devices:
+                    self.predictor.observe(cmd, dev_name, per_dev[dev_name])
 
     def _noise_factor(self, kkey: KernelKey, device: str) -> float:
         """Deterministic measurement perturbation (robustness ablation)."""

@@ -31,6 +31,7 @@ except ImportError:  # pragma: no cover - non-POSIX fallback
     fcntl = None  # type: ignore[assignment]
 
 from repro.hardware.specs import NodeSpec
+from repro.lru import BoundedLRU
 
 __all__ = [
     "PROFILE_CACHE_ENV",
@@ -40,6 +41,10 @@ __all__ = [
     "load_profile_dict",
     "save_profile_dict",
     "load_or_compute",
+    "load_json",
+    "save_json",
+    "locked",
+    "load_or_compute_json",
     "clear_cache",
 ]
 
@@ -49,11 +54,13 @@ PROFILE_CACHE_ENV = "MULTICL_PROFILE_CACHE"
 #: (path, mtime_ns, size) -> parsed JSON payload of the last profile read.
 _read_memo: Dict[Any, Dict[str, Any]] = {}
 
-#: Equality key of a NodeSpec -> digest, bounded FIFO (insertion-ordered
-#: dict).  NodeSpec itself is unhashable (its ``host_links`` is a dict), so
-#: the key is the hashable equivalent of its equality tuple.
-_fp_memo: Dict[Any, str] = {}
+#: Equality key of a NodeSpec -> digest.  NodeSpec itself is unhashable
+#: (its ``host_links`` is a dict), so the key is the hashable equivalent of
+#: its equality tuple.  Shares the bounded-LRU implementation with the
+#: source-parse memo (:mod:`repro.lru`): eviction drops the least recently
+#: used spec, not merely the oldest.
 _FP_MEMO_MAX = 64
+_fp_memo: BoundedLRU = BoundedLRU(_FP_MEMO_MAX)
 
 
 def _fp_memo_key(spec: NodeSpec) -> Any:
@@ -82,16 +89,14 @@ def node_fingerprint(spec: NodeSpec) -> str:
         return cached
     # Equality fallback: distinct-but-equal spec instances (each runtime
     # construction may build its own) share the digest without
-    # re-serialising.  Dict lookup, bounded FIFO eviction — repeated
-    # distinct specs can never grow the memo past _FP_MEMO_MAX entries.
+    # re-serialising.  Bounded LRU — repeated distinct specs can never
+    # grow the memo past _FP_MEMO_MAX entries.
     key = _fp_memo_key(spec)
     digest = _fp_memo.get(key)
     if digest is None:
         payload = json.dumps(_spec_to_jsonable(spec), sort_keys=True)
         digest = hashlib.sha256(payload.encode()).hexdigest()[:16]
-        while len(_fp_memo) >= _FP_MEMO_MAX:
-            _fp_memo.pop(next(iter(_fp_memo)))
-        _fp_memo[key] = digest
+        _fp_memo.put(key, digest)
     object.__setattr__(spec, "_fingerprint_memo", digest)
     return digest
 
@@ -143,20 +148,16 @@ def load_profile_dict(
     return data
 
 
-def save_profile_dict(
-    spec: NodeSpec, payload: Dict[str, Any], cache_dir: Optional[str] = None
-) -> Path:
-    """Persist a measured profile; returns the file path.
+def save_json(path: Path, payload: Dict[str, Any]) -> Path:
+    """Atomically persist ``payload`` as JSON at ``path``.
 
     The write goes to a uniquely-named temporary file in the target
     directory followed by an atomic rename, so concurrent writers cannot
     corrupt each other's staging file and a concurrent reader only ever
-    sees a complete profile (or none).
+    sees a complete file (or none).
     """
-    path = cache_path(spec, cache_dir)
+    path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    payload = dict(payload)
-    payload["fingerprint"] = node_fingerprint(spec)
     fd, tmp = tempfile.mkstemp(
         prefix=path.name + ".", suffix=".tmp", dir=str(path.parent)
     )
@@ -171,9 +172,32 @@ def save_profile_dict(
     return path
 
 
+def load_json(path: Path) -> Optional[Dict[str, Any]]:
+    """Load a JSON payload from ``path``; missing or corrupt file -> None.
+
+    A corrupt file is treated as a miss (and will be overwritten by the
+    next save), matching the robustness a production runtime needs.
+    """
+    try:
+        with Path(path).open("r") as fh:
+            return json.load(fh)
+    except (json.JSONDecodeError, OSError):
+        return None
+
+
+def save_profile_dict(
+    spec: NodeSpec, payload: Dict[str, Any], cache_dir: Optional[str] = None
+) -> Path:
+    """Persist a measured profile; returns the file path."""
+    path = cache_path(spec, cache_dir)
+    payload = dict(payload)
+    payload["fingerprint"] = node_fingerprint(spec)
+    return save_json(path, payload)
+
+
 @contextlib.contextmanager
-def _locked(path: Path) -> Iterator[None]:
-    """Advisory cross-process lock guarding the profile at ``path``.
+def locked(path: Path) -> Iterator[None]:
+    """Advisory cross-process lock guarding the file at ``path``.
 
     Implemented as ``flock`` on a sibling ``.lock`` file, which the kernel
     releases automatically if the holder dies.  Degrades to a no-op where
@@ -182,6 +206,7 @@ def _locked(path: Path) -> Iterator[None]:
     if fcntl is None:  # pragma: no cover - non-POSIX fallback
         yield
         return
+    path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     lock_path = path.with_suffix(path.suffix + ".lock")
     fd = os.open(str(lock_path), os.O_RDWR | os.O_CREAT, 0o644)
@@ -192,6 +217,35 @@ def _locked(path: Path) -> Iterator[None]:
         with contextlib.suppress(OSError):
             fcntl.flock(fd, fcntl.LOCK_UN)
         os.close(fd)
+
+
+#: Backwards-compatible private alias (pre-predict-layer name).
+_locked = locked
+
+
+def load_or_compute_json(
+    path: Path, compute: Callable[[], Dict[str, Any]]
+) -> Tuple[Dict[str, Any], bool]:
+    """Generic single-flight cached JSON retrieval at an explicit path.
+
+    Returns ``(payload, computed)`` where ``computed`` is True iff this
+    call ran ``compute``.  When N processes race on a cold file, exactly
+    one computes: the first to take the lock computes and saves; the rest
+    block on the lock and then re-read the freshly written file.  The
+    device-profile store and the predict-model store
+    (:mod:`repro.predict.store`) both sit on this machinery.
+    """
+    path = Path(path)
+    cached = load_json(path)
+    if cached is not None:
+        return cached, False
+    with locked(path):
+        cached = load_json(path)
+        if cached is not None:
+            return cached, False
+        payload = dict(compute())
+        save_json(path, payload)
+        return payload, True
 
 
 def load_or_compute(

@@ -151,6 +151,12 @@ class MultiCL:
         races and orphaned events, and warning on stale reads.  ``None``
         (the default) defers to the ``MULTICL_SANITIZE`` environment
         variable; ``True``/``False`` override it.
+    predict:
+        Profiling-free scheduling from static kernel features
+        (:mod:`repro.predict`).  ``None`` (the default) defers to the
+        ``MULTICL_PREDICT`` environment variable (via
+        :meth:`SchedulerConfig.from_env`); ``True``/``False`` override it
+        and any passed ``config``.
     """
 
     def __init__(
@@ -162,11 +168,16 @@ class MultiCL:
         fault_plan: Optional[FaultPlan] = None,
         fault_policy: Optional[FaultPolicy] = None,
         sanitize: Optional[bool] = None,
+        predict: Optional[bool] = None,
     ) -> None:
         self.platform = Platform(node_spec, profile=True, profile_dir=profile_dir)
         properties: Dict = {}
         if policy is not None:
             properties[ContextProperty.CL_CONTEXT_SCHEDULER] = policy
+        if predict is not None:
+            config = (config or SchedulerConfig.from_env()).with_(
+                predict=bool(predict)
+            )
         if config is not None:
             properties[CONFIG_PROPERTY_KEY] = config
         if sanitize is not None:

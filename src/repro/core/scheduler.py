@@ -72,6 +72,14 @@ class MultiCLSchedulerBase(SchedulerBase):
             )
         self.config = cfg
         self.profiler = KernelProfiler(context, cfg)
+        if cfg.predict:
+            # Profiling-free scheduling from static kernel features: the
+            # profiler consults the predictor before measuring anything.
+            # Imported lazily — repro.predict sits above repro.core in the
+            # layering, and the predictor is opt-in.
+            from repro.predict import attach_predictor
+
+            attach_predictor(self.profiler)
         #: One entry per trigger: {queue name: device name}.
         self.mapping_history: List[Dict[str, str]] = []
         #: SnuCL device order memoised per active-device tuple: the pool

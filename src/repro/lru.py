@@ -1,0 +1,85 @@
+"""Bounded LRU mapping shared by the runtime's small hot-path memos.
+
+Two memo caches in the runtime are bounded but were bounded *badly*:
+
+* :data:`repro.ocl.source._parse_memo` cleared the **entire** memo once it
+  crossed its bound, evicting hot program sources mid-run (a benchmark
+  loop alternating 65+ distinct sources would re-parse everything on every
+  iteration);
+* :data:`repro.core.profile_store._fp_memo` evicted in FIFO order, which
+  throws away the *hottest* entry whenever it happens to be the oldest.
+
+:class:`BoundedLRU` is the one implementation both now share: a plain
+insertion-ordered dict where a hit moves the key to the end and inserts
+evict from the front, so the entry dropped is always the least recently
+*used* one.  It deliberately imports nothing from the rest of the package
+(``repro.ocl`` and ``repro.core`` both depend on it, in that order).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generic, Iterator, Optional, Tuple, TypeVar
+
+__all__ = ["BoundedLRU"]
+
+K = TypeVar("K")
+V = TypeVar("V")
+
+
+class BoundedLRU(Generic[K, V]):
+    """A dict bounded to ``maxsize`` entries with least-recently-used
+    eviction.
+
+    ``get`` refreshes recency (move-to-end); ``put`` inserts (or refreshes)
+    and evicts the oldest entries while over the bound.  Not thread-safe —
+    the memos it backs are per-process, accessed from the single simulation
+    thread.
+    """
+
+    __slots__ = ("maxsize", "_data")
+
+    def __init__(self, maxsize: int) -> None:
+        if maxsize < 1:
+            raise ValueError(f"maxsize must be >= 1, got {maxsize}")
+        self.maxsize = maxsize
+        self._data: Dict[K, V] = {}
+
+    def get(self, key: K, default: Optional[V] = None) -> Optional[V]:
+        data = self._data
+        try:
+            value = data.pop(key)
+        except KeyError:
+            return default
+        data[key] = value  # re-insert at the end: most recently used
+        return value
+
+    def put(self, key: K, value: V) -> None:
+        data = self._data
+        if key in data:
+            del data[key]
+        elif len(data) >= self.maxsize:
+            # Evict from the front (least recently used).  A single pop
+            # suffices in steady state; the loop also repairs a cache whose
+            # maxsize was lowered after construction.
+            while len(data) >= self.maxsize:
+                del data[next(iter(data))]
+        data[key] = value
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: K) -> bool:
+        return key in self._data
+
+    def __iter__(self) -> Iterator[K]:
+        """Keys, oldest (least recently used) first."""
+        return iter(self._data)
+
+    def items(self) -> Iterator[Tuple[K, V]]:
+        return iter(self._data.items())
+
+    def clear(self) -> None:
+        self._data.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"BoundedLRU(maxsize={self.maxsize}, len={len(self._data)})"

@@ -29,6 +29,7 @@ import re
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro.lru import BoundedLRU
 from repro.ocl.errors import BuildProgramFailure
 
 __all__ = [
@@ -154,7 +155,10 @@ def _annotations_before(src: str, kernel_start: int) -> Dict[str, str]:
 #: source string -> parsed kernel infos; program sources are interned by
 #: construction (benchmark loops and multi-runtime apps rebuild the same
 #: literal), so a small memo removes the regex walk from the hot path.
-_parse_memo: Dict[str, Tuple[KernelSourceInfo, ...]] = {}
+#: Bounded LRU: a hit refreshes recency, an insert past the bound evicts
+#: only the least recently used source (the seed cleared the whole memo,
+#: evicting hot program sources mid-run).
+_parse_memo: BoundedLRU = BoundedLRU(64)
 
 
 def parse_program_source(src: str) -> List[KernelSourceInfo]:
@@ -163,9 +167,7 @@ def parse_program_source(src: str) -> List[KernelSourceInfo]:
     if cached is not None:
         return list(cached)
     infos = _parse_program_source_uncached(src)
-    if len(_parse_memo) > 64:
-        _parse_memo.clear()
-    _parse_memo[src] = tuple(infos)
+    _parse_memo.put(src, tuple(infos))
     return infos
 
 

@@ -1,0 +1,502 @@
+"""Plain-Python ridge regression from static features to kernel cost.
+
+No numpy, no sklearn: the normal equations are accumulated as sufficient
+statistics (``X^T X``, ``X^T y``) in plain lists and solved by Gaussian
+elimination with partial pivoting.  That keeps the predictor dependency-free
+and — because every operation is deterministic float arithmetic over a
+deterministic corpus order — bit-identical across processes, which is what
+lets a ``--jobs N`` fleet share one fitted model through the single-flight
+store.
+
+Two model families live here:
+
+* :class:`DeviceTimeModel` — per-device execution-time model.  The
+  simulator's roofline is ``overhead + max(compute term, memory term)``
+  with each term multiplicative in its inputs, so each device gets *two*
+  log-space linear heads (compute-bound, memory-bound) combined with
+  ``max(exp(.), exp(.))`` at prediction time.  Occupancy's
+  ``min(1, n/saturation)`` kink and the ``-log(1 - penalty·z)`` penalty
+  curves are linearised with hinge and polynomial basis features.
+* :class:`CostFieldModel` — device-independent ridge heads from the shared
+  feature vector to the :class:`~repro.hardware.cost.KernelCost` descriptor
+  fields (log flops, log bytes, divergence, irregularity), so a fitted
+  model can also materialise a full cost descriptor for consumers that
+  want one rather than a time.
+
+:class:`PredictorModel` bundles both plus the node fingerprint, with JSON
+(de)serialisation that round-trips floats exactly (``repr`` round-trip
+guarantee), so fit-once/load-many is bit-identical.
+"""
+
+from __future__ import annotations
+
+from math import exp, log
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.hardware.cost import KernelCost
+from repro.hardware.specs import DeviceKind
+from repro.predict.features import KernelFeatures
+
+__all__ = [
+    "RidgeHead",
+    "DeviceTimeModel",
+    "CostFieldModel",
+    "PredictorModel",
+    "compute_feature_vector",
+    "memory_feature_vector",
+    "descriptor_feature_vector",
+    "DEFAULT_LAMBDA",
+]
+
+_TINY = 1e-12
+
+#: Ridge regularisation.  Small: the probe corpus is dense and exactly
+#: realisable in the basis, so the penalty only needs to keep the normal
+#: matrix invertible.
+DEFAULT_LAMBDA = 1e-6
+
+#: Degree of the polynomial basis approximating ``-log(1 - penalty·z)`` for
+#: the divergence/irregularity penalty curves (<= ~2% at the workload max).
+_PENALTY_DEGREE = 8
+
+#: Knots (in log2 work-items) of the hinge basis representing occupancy's
+#: ``-log min(1, n/saturation)``: exact when a device's saturation point is
+#: a power of two, a tight piecewise-linear fit otherwise.
+_HINGE_KNOTS = tuple(range(4, 17))
+
+
+def compute_feature_vector(
+    feat: KernelFeatures, kind_value: str, work_items: int
+) -> List[float]:
+    """Basis for the compute-bound head: log per-item body seconds.
+
+    True compute term: ``log f - log(peak·bce·eff) - log(1 - dp·div)
+    - log occupancy`` — linear in ``log f`` and ``log eff``, polynomial in
+    divergence, hinged in ``log2 n``.  Body-count features ride along so
+    online corrections can attach to what the annotations miss.
+    """
+    e = feat.eff_for(kind_value)
+    u = _log2(max(work_items, 1))
+    d = feat.divergence
+    x = [1.0, log(feat.flops_per_item + _TINY)]
+    power = 1.0
+    for _ in range(_PENALTY_DEGREE):
+        power *= d
+        x.append(power)
+    x.append(log(max(e, _TINY)))
+    x.extend(
+        (
+            feat.branch_density,
+            float(feat.loop_nest_depth),
+            float(feat.barrier_count),
+            log(feat.arg_bytes + 1.0),
+        )
+    )
+    x.extend(max(0.0, k - u) for k in _HINGE_KNOTS)
+    return x
+
+
+def memory_feature_vector(
+    feat: KernelFeatures, kind_value: str, work_items: int
+) -> List[float]:
+    """Basis for the memory-bound head: log per-item body seconds.
+
+    True memory term: ``log b - log(bw·bme·eff) - log(1 - ip·irr)`` — no
+    occupancy factor (the simulator applies occupancy to compute only), so
+    no hinge features.
+    """
+    del work_items  # memory bandwidth is occupancy-independent here
+    e = feat.eff_for(kind_value)
+    irr = feat.irregularity
+    x = [1.0, log(feat.bytes_per_item + _TINY)]
+    power = 1.0
+    for _ in range(_PENALTY_DEGREE):
+        power *= irr
+        x.append(power)
+    x.append(log(max(e, _TINY)))
+    x.extend(
+        (
+            feat.branch_density,
+            float(feat.loop_nest_depth),
+            float(feat.barrier_count),
+            log(feat.arg_bytes + 1.0),
+        )
+    )
+    return x
+
+
+def descriptor_feature_vector(feat: KernelFeatures) -> List[float]:
+    """Shared basis for the device-independent descriptor-field heads."""
+    return [
+        1.0,
+        log(feat.flops_per_item + _TINY),
+        log(feat.bytes_per_item + _TINY),
+        feat.divergence,
+        feat.irregularity,
+        feat.branch_density,
+        float(feat.loop_nest_depth),
+        float(feat.barrier_count),
+        log(feat.arg_bytes + 1.0),
+        float(feat.global_accesses),
+        float(feat.indirect_accesses),
+        float(feat.transcendental_ops),
+    ]
+
+
+def _log2(n: int) -> float:
+    return log(n) / log(2.0)
+
+
+def _solve(a: List[List[float]], b: List[float]) -> List[float]:
+    """Solve ``a x = b`` by Gaussian elimination with partial pivoting.
+
+    Operates on copies; deterministic for identical inputs (no
+    randomisation, stable pivot tie-breaking by first maximal row).
+    """
+    k = len(b)
+    m = [row[:] + [b[i]] for i, row in enumerate(a)]
+    for col in range(k):
+        pivot = col
+        best = abs(m[col][col])
+        for r in range(col + 1, k):
+            mag = abs(m[r][col])
+            if mag > best:
+                best = mag
+                pivot = r
+        if best == 0.0:
+            raise ZeroDivisionError("singular normal matrix")
+        if pivot != col:
+            m[col], m[pivot] = m[pivot], m[col]
+        inv_p = 1.0 / m[col][col]
+        for r in range(col + 1, k):
+            factor = m[r][col] * inv_p
+            if factor == 0.0:
+                continue
+            row_r = m[r]
+            row_c = m[col]
+            for c in range(col, k + 1):
+                row_r[c] -= factor * row_c[c]
+    x = [0.0] * k
+    for col in range(k - 1, -1, -1):
+        total = m[col][k]
+        row = m[col]
+        for c in range(col + 1, k):
+            total -= row[c] * x[c]
+        x[col] = total / row[col]
+    return x
+
+
+class RidgeHead:
+    """One ridge-regression output accumulated as sufficient statistics.
+
+    ``add`` folds an (x, y) observation into ``X^T X`` / ``X^T y``;
+    ``solve`` returns the weights of ``(X^T X + λI) w = X^T y``.  A second
+    :class:`RidgeHead` can be layered on at solve time (``extra``) — that is
+    how runtime observations correct a shared immutable base model without
+    mutating it.
+    """
+
+    __slots__ = ("dim", "lam", "count", "xtx", "xty")
+
+    def __init__(self, dim: int, lam: float = DEFAULT_LAMBDA) -> None:
+        self.dim = dim
+        self.lam = lam
+        self.count = 0
+        self.xtx: List[List[float]] = [[0.0] * dim for _ in range(dim)]
+        self.xty: List[float] = [0.0] * dim
+
+    def add(self, x: Sequence[float], y: float) -> None:
+        if len(x) != self.dim:
+            raise ValueError(f"expected {self.dim} features, got {len(x)}")
+        xtx = self.xtx
+        xty = self.xty
+        for i in range(self.dim):
+            xi = x[i]
+            if xi == 0.0:
+                continue
+            row = xtx[i]
+            for j in range(self.dim):
+                row[j] += xi * x[j]
+            xty[i] += xi * y
+        self.count += 1
+
+    def _combined(
+        self, extra: Optional["RidgeHead"]
+    ) -> Tuple[List[List[float]], List[float]]:
+        a = [row[:] for row in self.xtx]
+        b = self.xty[:]
+        if extra is not None:
+            if extra.dim != self.dim:
+                raise ValueError("mismatched head dimensions")
+            for i in range(self.dim):
+                row = a[i]
+                erow = extra.xtx[i]
+                for j in range(self.dim):
+                    row[j] += erow[j]
+                b[i] += extra.xty[i]
+        for i in range(self.dim):
+            a[i][i] += self.lam
+        return a, b
+
+    def solve(self, extra: Optional["RidgeHead"] = None) -> List[float]:
+        a, b = self._combined(extra)
+        return _solve(a, b)
+
+    def inverse(self, extra: Optional["RidgeHead"] = None) -> List[List[float]]:
+        """Inverse of the regularised normal matrix (for leverage)."""
+        a, _ = self._combined(extra)
+        k = self.dim
+        cols = []
+        for j in range(k):
+            e = [0.0] * k
+            e[j] = 1.0
+            cols.append(_solve(a, e))
+        # cols[j] is the j-th column; transpose to rows (symmetric anyway,
+        # up to float noise).
+        return [[cols[j][i] for j in range(k)] for i in range(k)]
+
+    def predict(self, x: Sequence[float], weights: Sequence[float]) -> float:
+        total = 0.0
+        for i in range(self.dim):
+            total += weights[i] * x[i]
+        return total
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "dim": self.dim,
+            "lam": self.lam,
+            "count": self.count,
+            "xtx": [list(row) for row in self.xtx],
+            "xty": list(self.xty),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "RidgeHead":
+        head = cls(int(data["dim"]), lam=float(data["lam"]))
+        head.count = int(data["count"])
+        head.xtx = [[float(v) for v in row] for row in data["xtx"]]
+        head.xty = [float(v) for v in data["xty"]]
+        return head
+
+
+class DeviceTimeModel:
+    """Per-device execution-time model: two log-space heads plus overhead."""
+
+    __slots__ = ("device", "kind", "overhead", "compute", "memory")
+
+    def __init__(
+        self,
+        device: str,
+        kind: str,
+        overhead: float,
+        compute: Optional[RidgeHead] = None,
+        memory: Optional[RidgeHead] = None,
+        lam: float = DEFAULT_LAMBDA,
+    ) -> None:
+        self.device = device
+        self.kind = kind
+        #: per-launch overhead measured at fit time (an empty probe kernel)
+        self.overhead = overhead
+        self.compute = compute or RidgeHead(
+            _compute_dim(), lam=lam
+        )
+        self.memory = memory or RidgeHead(_memory_dim(), lam=lam)
+
+    def predict_seconds(
+        self,
+        feat: KernelFeatures,
+        work_items: int,
+        compute_weights: Optional[Sequence[float]] = None,
+        memory_weights: Optional[Sequence[float]] = None,
+    ) -> float:
+        """Predicted seconds of one launch of ``work_items`` items.
+
+        Callers on a hot path should pass pre-solved weights; without them
+        each call re-solves the normal equations.
+        """
+        wc = compute_weights if compute_weights is not None else self.compute.solve()
+        wm = memory_weights if memory_weights is not None else self.memory.solve()
+        xc = compute_feature_vector(feat, self.kind, work_items)
+        xm = memory_feature_vector(feat, self.kind, work_items)
+        body = max(exp(self.compute.predict(xc, wc)), exp(self.memory.predict(xm, wm)))
+        return self.overhead + work_items * body
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "device": self.device,
+            "kind": self.kind,
+            "overhead": self.overhead,
+            "compute": self.compute.to_dict(),
+            "memory": self.memory.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "DeviceTimeModel":
+        return cls(
+            device=str(data["device"]),
+            kind=str(data["kind"]),
+            overhead=float(data["overhead"]),
+            compute=RidgeHead.from_dict(data["compute"]),
+            memory=RidgeHead.from_dict(data["memory"]),
+        )
+
+
+#: Cost-descriptor fields predicted by :class:`CostFieldModel`, in order.
+_COST_FIELDS = ("log_flops", "log_bytes", "divergence", "irregularity")
+
+
+class CostFieldModel:
+    """Device-independent heads predicting the KernelCost descriptor fields."""
+
+    __slots__ = ("heads",)
+
+    def __init__(self, heads: Optional[Dict[str, RidgeHead]] = None,
+                 lam: float = DEFAULT_LAMBDA) -> None:
+        dim = len(descriptor_feature_vector(KernelFeatures(name="_probe")))
+        self.heads = heads or {
+            name: RidgeHead(dim, lam=lam) for name in _COST_FIELDS
+        }
+
+    def add(self, feat: KernelFeatures) -> None:
+        x = descriptor_feature_vector(feat)
+        self.heads["log_flops"].add(x, log(feat.flops_per_item + _TINY))
+        self.heads["log_bytes"].add(x, log(feat.bytes_per_item + _TINY))
+        self.heads["divergence"].add(x, feat.divergence)
+        self.heads["irregularity"].add(x, feat.irregularity)
+
+    def predict_fields(self, feat: KernelFeatures) -> Dict[str, float]:
+        x = descriptor_feature_vector(feat)
+        out: Dict[str, float] = {}
+        for name in _COST_FIELDS:
+            head = self.heads[name]
+            out[name] = head.predict(x, head.solve())
+        return out
+
+    def predict_cost(
+        self,
+        feat: KernelFeatures,
+        work_items: int,
+        workgroup_size: int = 64,
+    ) -> KernelCost:
+        """Materialise a full :class:`KernelCost` descriptor."""
+        fields = self.predict_fields(feat)
+        flops_per_item = max(exp(fields["log_flops"]) - _TINY, 0.0)
+        bytes_per_item = max(exp(fields["log_bytes"]) - _TINY, 0.0)
+        efficiency = {
+            DeviceKind(kind): eff for kind, eff in feat.efficiency
+        }
+        return KernelCost(
+            flops=flops_per_item * work_items,
+            bytes=bytes_per_item * work_items,
+            work_items=work_items,
+            workgroup_size=workgroup_size,
+            divergence=min(max(fields["divergence"], 0.0), 1.0),
+            irregularity=min(max(fields["irregularity"], 0.0), 1.0),
+            efficiency=efficiency,
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {name: head.to_dict() for name, head in self.heads.items()}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "CostFieldModel":
+        return cls(
+            heads={
+                name: RidgeHead.from_dict(data[name]) for name in _COST_FIELDS
+            }
+        )
+
+
+class PredictorModel:
+    """A fitted predictor for one node: per-device time models plus the
+    device-independent cost-field heads.
+
+    Immutable by convention once fitted: runtime corrections are layered on
+    by :class:`repro.predict.Predictor` without touching these statistics,
+    so one instance can be shared by every runtime in a process.
+    """
+
+    SCHEMA_VERSION = 1
+
+    __slots__ = ("fingerprint", "lam", "devices", "cost_fields")
+
+    def __init__(
+        self,
+        fingerprint: str,
+        devices: Dict[str, DeviceTimeModel],
+        cost_fields: CostFieldModel,
+        lam: float = DEFAULT_LAMBDA,
+    ) -> None:
+        self.fingerprint = fingerprint
+        self.lam = lam
+        self.devices = devices
+        self.cost_fields = cost_fields
+
+    @classmethod
+    def fit(cls, spec, lam: float = DEFAULT_LAMBDA) -> "PredictorModel":
+        """Fit a model for ``spec`` from the probe corpus (see
+        :func:`repro.predict.corpus.fit_model`)."""
+        from repro.predict.corpus import fit_model
+
+        return fit_model(spec, lam=lam)
+
+    def predict(
+        self, feat: KernelFeatures, work_items: int
+    ) -> Dict[str, float]:
+        """Per-device predicted seconds for one launch (uncached solves)."""
+        return {
+            name: m.predict_seconds(feat, work_items)
+            for name, m in self.devices.items()
+        }
+
+    def residual(
+        self,
+        feat: KernelFeatures,
+        device: str,
+        work_items: int,
+        observed_seconds: float,
+    ) -> float:
+        """Relative error of the base model against an observation."""
+        predicted = self.devices[device].predict_seconds(feat, work_items)
+        return abs(predicted - observed_seconds) / max(
+            abs(observed_seconds), _TINY
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "schema": self.SCHEMA_VERSION,
+            "fingerprint": self.fingerprint,
+            "lam": self.lam,
+            "devices": {
+                name: m.to_dict() for name, m in sorted(self.devices.items())
+            },
+            "cost_fields": self.cost_fields.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "PredictorModel":
+        if int(data.get("schema", -1)) != cls.SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported predictor model schema: {data.get('schema')!r}"
+            )
+        return cls(
+            fingerprint=str(data["fingerprint"]),
+            lam=float(data["lam"]),
+            devices={
+                name: DeviceTimeModel.from_dict(d)
+                for name, d in data["devices"].items()
+            },
+            cost_fields=CostFieldModel.from_dict(data["cost_fields"]),
+        )
+
+
+def _compute_dim() -> int:
+    return len(
+        compute_feature_vector(KernelFeatures(name="_probe"), "cpu", 1)
+    )
+
+
+def _memory_dim() -> int:
+    return len(
+        memory_feature_vector(KernelFeatures(name="_probe"), "cpu", 1)
+    )

@@ -107,6 +107,23 @@ def _build_parser(prog: Optional[str]) -> argparse.ArgumentParser:
         help="spill intervals to PATH.tenant<i>.jsonl instead of discarding",
     )
     parser.add_argument(
+        "--cold-start", action="store_true",
+        help="engine mode: model the dynamic profiler's cold start — the "
+        "first arrival of each unseen kernel family runs one profiling "
+        "launch per device before requests of that family are served",
+    )
+    parser.add_argument(
+        "--predict", action="store_true",
+        help="with --cold-start: serve unseen families from the "
+        "static-feature predictor (repro.predict) — zero profiling "
+        "launches hit the devices",
+    )
+    parser.add_argument(
+        "--family-churn", type=int, default=0, metavar="N",
+        help="with --cold-start: every N arrivals, families count as "
+        "unseen again (0 = only the very first sight is cold)",
+    )
+    parser.add_argument(
         "--verify-serial", action="store_true",
         help="after a sharded run, re-run serially and fail on any "
         "checksum difference",
@@ -131,6 +148,9 @@ def build_config(args: argparse.Namespace) -> ReplayConfig:
         spill_every=args.spill_every,
         streaming=not args.no_streaming,
         trace_path=args.trace,
+        cold_start=args.cold_start,
+        predict=args.predict,
+        family_churn=args.family_churn,
     ).validate()
 
 
@@ -156,6 +176,8 @@ def _report_json(report) -> str:
                     "throughput": t.throughput,
                     "spilled": t.spilled,
                     "checksum": t.checksum,
+                    "profiling_epochs": t.profiling_epochs,
+                    "predicted_epochs": t.predicted_epochs,
                 }
                 for t in report.tenants
             ],

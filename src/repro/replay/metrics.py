@@ -162,6 +162,11 @@ class TenantResult:
     resident: int
     #: deterministic fold of the whole replay (serial ≡ sharded, bit-exact)
     checksum: float
+    #: cold-start profiling epochs run on the devices (engine mode with
+    #: ``cold_start``; 0 otherwise)
+    profiling_epochs: int = 0
+    #: cold-start epochs served by the static-feature predictor instead
+    predicted_epochs: int = 0
 
     @property
     def hist(self) -> LatencyHistogram:
@@ -234,6 +239,13 @@ class ReplayReport:
                 f"weight {t.weight:g}"
                 + (f", share {self.shares[t.tenant]:.3f}"
                    if t.tenant in self.shares else "")
+            )
+        profiled = sum(t.profiling_epochs for t in self.tenants)
+        predicted = sum(t.predicted_epochs for t in self.tenants)
+        if profiled or predicted:
+            lines.append(
+                f"  cold start: {profiled} profiling epoch(s) on devices, "
+                f"{predicted} served by the predictor"
             )
         lines.append(f"  checksum {self.checksum!r}")
         return "\n".join(lines)

@@ -115,6 +115,20 @@ class ReplayConfig:
     families: Tuple[KernelFamily, ...] = DEFAULT_FAMILIES
     #: shared on-disk device-profile cache (None -> harness default)
     profile_dir: Optional[str] = None
+    #: engine mode: model the dynamic profiler's cold start — the first
+    #: arrival of an *unseen* kernel family runs one profiling launch per
+    #: device before any request of that family can be served, so early
+    #: (and post-churn) requests queue behind profiling.  Off by default:
+    #: cold-start accounting changes checksums.
+    cold_start: bool = False
+    #: with ``cold_start``: serve unseen families from the static-feature
+    #: predictor instead — zero profiling launches ever hit the devices
+    #: (the :mod:`repro.predict` path applied to the replay model)
+    predict: bool = False
+    #: with ``cold_start``: every ``family_churn`` arrivals the tenant's
+    #: families count as unseen again, modelling a stream whose kernel
+    #: population keeps changing (0 = only the very first sight is cold)
+    family_churn: int = 0
 
     def resolved_chunk(self) -> int:
         return self.chunk if self.chunk > 0 else _env_int(CHUNK_ENV, 8192)
@@ -141,6 +155,12 @@ class ReplayConfig:
             raise ValueError(f"rate must be positive, got {self.rate}")
         if self.policy not in ("jsq", "rr"):
             raise ValueError(f"policy must be 'jsq' or 'rr', got {self.policy!r}")
+        if self.family_churn < 0:
+            raise ValueError(
+                f"family_churn must be >= 0, got {self.family_churn}"
+            )
+        if self.predict and not self.cold_start:
+            raise ValueError("predict requires cold_start (nothing to skip)")
         if not self.weights:
             raise ValueError("weights must not be empty")
         make_process(self.process, self.rate, **self.process_params)
@@ -183,6 +203,14 @@ class _EngineTenant:
         "completed",
         "latency_sum",
         "last_end",
+        "cold_start",
+        "predict",
+        "churn",
+        "arrivals",
+        "seen",
+        "prof_names",
+        "profiling_epochs",
+        "predicted_epochs",
     )
 
     def __init__(self, platform, config: ReplayConfig, tenant: str) -> None:
@@ -224,11 +252,56 @@ class _EngineTenant:
         self.completed = 0
         self.latency_sum = 0.0
         self.last_end = 0.0
+        # Cold-start modelling (see ReplayConfig.cold_start): which
+        # (family, generation) pairs have been profiled or predicted.
+        self.cold_start = config.cold_start
+        self.predict = config.predict
+        self.churn = config.family_churn
+        self.arrivals = 0
+        self.seen: set = set()
+        self.prof_names = [f"prof:{fam.name}" for fam in config.families]
+        self.profiling_epochs = 0
+        self.predicted_epochs = 0
+
+    def _first_sight(self, fam: int) -> None:
+        """An unseen family arrived: profile it on every device, or predict.
+
+        The measured path mirrors the kernel profiler: one profiling launch
+        per device, serialised on each device's FIFO ahead of any pending
+        requests — exactly the cold-start epoch the predictor eliminates.
+        The predicted path costs zero device seconds (static features only).
+        """
+        if self.predict:
+            self.predicted_epochs += 1
+            return
+        self.profiling_epochs += 1
+        engine = self.engine
+        now = engine.clock._now
+        durations = self.durations[fam]
+        name = self.prof_names[fam]
+        free = self.free
+        for i, resource in enumerate(self.resources):
+            duration = durations[i]
+            start = free[i]
+            if start < now:
+                start = now
+            free[i] = start + duration
+            task = engine.task(
+                name, duration, resource, category="profile-kernel"
+            )
+            task.meta = self.metas[fam]
 
     def arrive(self, fam: int) -> None:
         """Dispatch one arriving request (fires at its arrival timestamp)."""
         engine = self.engine
         now = engine.clock._now
+        if self.cold_start:
+            self.arrivals += 1
+            generation = self.arrivals // self.churn if self.churn else 0
+            key = fam * 1_000_003 + generation
+            if key not in self.seen:
+                self.seen.add(key)
+                self._first_sight(fam)
         free = self.free
         durations = self.durations[fam]
         if self.jsq:
@@ -346,6 +419,8 @@ def run_tenant(config: ReplayConfig, index: int) -> TenantResult:
         checksum=_fold_checksum(
             state.completed, state.last_end, state.latency_sum, device_seconds
         ),
+        profiling_epochs=state.profiling_epochs,
+        predicted_epochs=state.predicted_epochs,
     )
 
 

@@ -106,6 +106,9 @@ class WorkloadRun:
     iteration_seconds: List[float] = field(default_factory=list)
     #: outcome of functional verification, if it ran
     checks: Dict[str, Any] = field(default_factory=dict)
+    #: kernel-profiler counters at the end of the run (auto modes):
+    #: measurements, cache hits, predictions, declines...
+    profiler_stats: Dict[str, Any] = field(default_factory=dict)
 
     @property
     def devices_used(self) -> List[str]:

@@ -22,8 +22,9 @@ described for the SNU-NPB evaluation (Section VI.B.1).
 
 from __future__ import annotations
 
+import dataclasses
 from abc import ABC, abstractmethod
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.flags import SchedulerConfig
 from repro.core.runtime import MultiCL
@@ -251,6 +252,12 @@ def run_npb(
     app.finish_all()
     t1 = mcl.now
 
+    profiler_stats: Dict[str, Any] = {}
+    scheduler = mcl.context.scheduler
+    profiler = getattr(scheduler, "profiler", None)
+    if profiler is not None:
+        profiler_stats = dataclasses.asdict(profiler.stats)
+
     return WorkloadRun(
         name=app.NAME,
         problem_class=app.problem_class.value,
@@ -262,4 +269,5 @@ def run_npb(
         mappings=mcl.scheduler_mappings(),
         iteration_seconds=iter_times,
         checks=dict(app.checks),
+        profiler_stats=profiler_stats,
     )

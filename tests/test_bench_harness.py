@@ -58,7 +58,8 @@ def test_float_formatting():
 def test_experiments_registry():
     expected = {
         "fig3", "table1", "table2", "fig4", "fig5", "fig6", "fig7", "fig8",
-        "fig9", "fig10", "ablations", "robustness", "cluster", "baselines", "loc",
+        "fig9", "fig10", "ablations", "robustness", "predicted_vs_profiled",
+        "cluster", "baselines", "loc",
     }
     assert set(EXPERIMENTS) == expected
 

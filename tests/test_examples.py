@@ -28,6 +28,7 @@ EXPECTED = {
     "double_buffering.py": "% faster",
     "fault_tolerance.py": "run completed on degraded pool, numerics exactly-once: True",
     "multi_tenant.py": "fair share within 10% of weights: True",
+    "predicted_scheduling.py": "profiling measurements eliminated: True",
     "replay_demo.py": "sharded replay bit-identical to serial: True",
     "sanitizer_demo.py": "fixed pipeline findings: 0",
 }

@@ -1,0 +1,185 @@
+"""Ridge model machinery: exact solves, serialization, single-flight store.
+
+The fit-once/load-many contract is bit-exact: floats survive the JSON
+round trip via ``repr``, so a model fitted in one process and loaded in
+another predicts *identical* values — the property the shared
+``MULTICL_PREDICT_DIR`` cache (and every checksum downstream) relies on.
+"""
+
+import multiprocessing
+import os
+
+import pytest
+
+from repro.hardware.presets import aji_cluster15_node
+from repro.predict import (
+    PredictorModel,
+    RidgeHead,
+    load_or_fit,
+    model_path,
+)
+from repro.predict.features import KernelFeatures, extract_program
+from repro.predict.store import load_model, save_model
+
+SPEC = aji_cluster15_node()
+
+WORKLOAD_SRC = (
+    "// @multicl flops_per_item=220 bytes_per_item=8 divergence=0.1 "
+    "irregularity=0.2 cpu_eff=0.9 gpu_eff=0.6 writes=1\n"
+    "__kernel void scale(__global float* a, int n) {\n"
+    "  int i = get_global_id(0);\n"
+    "  a[i] = a[i] * 2.0f;\n"
+    "}\n"
+)
+FEAT = extract_program(WORKLOAD_SRC)["scale"]
+
+
+@pytest.fixture(scope="session")
+def fitted_dir(tmp_path_factory):
+    """One fitted-model directory for the whole session (fit is ~1s)."""
+    path = tmp_path_factory.mktemp("predict-models")
+    load_or_fit(SPEC, str(path))
+    return str(path)
+
+
+# ---------------------------------------------------------------------------
+# RidgeHead numerics
+# ---------------------------------------------------------------------------
+def test_ridge_recovers_exact_linear_relation():
+    head = RidgeHead(dim=2, lam=0.0)
+    for x in (0.0, 1.0, 2.0, 5.0, -3.0):
+        head.add([1.0, x], 2.0 + 3.0 * x)
+    w = head.solve()
+    assert w[0] == pytest.approx(2.0, abs=1e-9)
+    assert w[1] == pytest.approx(3.0, abs=1e-9)
+    assert head.predict([1.0, 10.0], w) == pytest.approx(32.0, abs=1e-8)
+
+
+def test_ridge_solve_is_deterministic_and_extra_layering_matches():
+    base = RidgeHead(dim=2, lam=1e-6)
+    combined = RidgeHead(dim=2, lam=1e-6)
+    extra = RidgeHead(dim=2, lam=0.0)
+    points = [([1.0, x], 1.0 - 0.5 * x) for x in (0.0, 1.0, 4.0)]
+    late = [([1.0, x], 1.0 - 0.5 * x) for x in (7.0, 9.0)]
+    for x, y in points:
+        base.add(x, y)
+        combined.add(x, y)
+    for x, y in late:
+        extra.add(x, y)
+        combined.add(x, y)
+    assert base.solve() == base.solve()  # bit-identical re-solve
+    assert base.solve(extra) == combined.solve()
+    assert base.inverse(extra) == combined.inverse()
+
+
+def test_ridge_round_trips_through_dict():
+    head = RidgeHead(dim=3, lam=1e-6)
+    head.add([1.0, 2.0, 3.0], 0.5)
+    head.add([1.0, -1.0, 0.25], -2.0)
+    clone = RidgeHead.from_dict(head.to_dict())
+    assert clone.solve() == head.solve()
+    assert clone.count == head.count and clone.lam == head.lam
+
+
+# ---------------------------------------------------------------------------
+# Fitted model: accuracy and serialization
+# ---------------------------------------------------------------------------
+def test_fitted_model_round_trips_bit_identical(fitted_dir):
+    model, computed = load_or_fit(SPEC, fitted_dir)
+    assert not computed  # session fixture already fitted it
+    clone = PredictorModel.from_dict(model.to_dict())
+    n = 1 << 14
+    assert clone.predict(FEAT, n) == model.predict(FEAT, n)
+
+
+def test_save_then_load_predicts_bit_identical(fitted_dir, tmp_path):
+    model, _ = load_or_fit(SPEC, fitted_dir)
+    save_model(model, SPEC, str(tmp_path))
+    loaded = load_model(SPEC, str(tmp_path))
+    assert loaded is not None
+    assert loaded.fingerprint == model.fingerprint
+    for n in (1 << 8, 1 << 14, 1 << 20):
+        assert loaded.predict(FEAT, n) == model.predict(FEAT, n)
+
+
+def test_load_rejects_corrupt_and_mismatched_files(fitted_dir, tmp_path):
+    path = model_path(SPEC, str(tmp_path))
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text("{ not json")
+    assert load_model(SPEC, str(tmp_path)) is None
+    path.write_text('{"schema": 999}')
+    assert load_model(SPEC, str(tmp_path)) is None
+
+
+def test_fitted_model_is_accurate_on_workload_kernel(fitted_dir):
+    """The model must track the roofline closely for in-hull kernels."""
+    from repro.hardware.topology import SimNode
+    from repro.ocl.source import parse_program_source
+    from repro.sim.engine import SimEngine
+    from repro.hardware.cost import KernelCost
+
+    model, _ = load_or_fit(SPEC, fitted_dir)
+    engine = SimEngine()
+    node = SimNode(engine, SPEC)
+    n = 1 << 16
+    info = parse_program_source(WORKLOAD_SRC)[0]
+    cost = KernelCost(
+        flops=FEAT.flops_per_item * n,
+        bytes=FEAT.bytes_per_item * n,
+        work_items=n,
+        divergence=FEAT.divergence,
+        irregularity=FEAT.irregularity,
+        efficiency={},
+    )
+    del info
+    predicted = model.predict(FEAT, n)
+    for device in node.device_list():
+        eff = FEAT.eff_for(device.spec.kind.value)
+        true_cost = KernelCost(
+            flops=cost.flops,
+            bytes=cost.bytes,
+            work_items=n,
+            divergence=cost.divergence,
+            irregularity=cost.irregularity,
+            efficiency={device.spec.kind: eff},
+        )
+        task = device.submit_kernel("probe", true_cost)
+        engine.run_until(task)
+        truth = task.duration
+        rel = abs(predicted[device.name] - truth) / truth
+        assert rel < 0.05, f"{device.name}: rel error {rel:.4f}"
+
+
+# ---------------------------------------------------------------------------
+# Single-flight across processes
+# ---------------------------------------------------------------------------
+def _fit_race_worker(predict_dir, barrier, queue):
+    from repro.predict import load_or_fit as lof
+
+    barrier.wait()
+    model, computed = lof(SPEC, predict_dir)
+    value = model.predict(FEAT, 1 << 14)
+    queue.put((os.getpid(), computed, sorted(value.items())))
+
+
+def test_racing_processes_fit_exactly_once_and_agree(tmp_path):
+    n = 3
+    ctx = multiprocessing.get_context("fork")
+    barrier = ctx.Barrier(n)
+    queue = ctx.Queue()
+    procs = [
+        ctx.Process(
+            target=_fit_race_worker, args=(str(tmp_path), barrier, queue)
+        )
+        for _ in range(n)
+    ]
+    for p in procs:
+        p.start()
+    results = [queue.get(timeout=120) for _ in range(n)]
+    for p in procs:
+        p.join(timeout=120)
+        assert p.exitcode == 0
+    computed_flags = [computed for _, computed, _ in results]
+    assert computed_flags.count(True) == 1, "fit must run in one process"
+    predictions = {tuple(value) for _, _, value in results}
+    assert len(predictions) == 1, "losers must load bit-identical weights"
