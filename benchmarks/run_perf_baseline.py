@@ -343,10 +343,55 @@ def bench_predict_infer() -> float:
     return total
 
 
+_REPAIR_INSTANCE = None
+
+
+def _repair_instance():
+    """Healthy 64x8 solve shared across repeats (the failure's *prior*)."""
+    global _REPAIR_INSTANCE
+    if _REPAIR_INSTANCE is None:
+        import random
+
+        rng = random.Random(217)
+        queues = [f"q{i}" for i in range(64)]
+        devices = [f"d{j}" for j in range(8)]
+        speed = {d: (1.0 if j < 4 else 2.5) for j, d in enumerate(devices)}
+        cost = {
+            q: {d: rng.uniform(1.0, 10.0) * speed[d] for d in devices}
+            for q in queues
+        }
+        prev = optimal_mapping(queues, devices, cost)
+        _REPAIR_INSTANCE = (queues, devices, cost, prev)
+    return _REPAIR_INSTANCE
+
+
+def bench_mapper_repair() -> float:
+    """Incremental repair of a 64-queue / 8-device mapping after one device
+    failure — the fault-recovery hot path (:mod:`repro.core.constraints`).
+
+    Times only the repair against a precomputed healthy solve; the checksum
+    folds the repaired makespan with the migration count so any change to
+    the placement search or its acceptance gate shows up.
+    """
+    from repro.core.constraints import MappingDelta, repair_mapping
+
+    queues, devices, cost, prev = _repair_instance()
+    dead = "d2"
+    degraded = [d for d in devices if d != dead]
+    cost2 = {q: {d: cost[q][d] for d in degraded} for q in queues}
+    result = repair_mapping(
+        prev, MappingDelta(removed_devices=(dead,)), queues, degraded, cost2
+    )
+    if not result.repaired:
+        raise RuntimeError("mapper_repair bench instance fell back to full solve")
+    return result.makespan + float(len(result.migrated_queues))
+
+
 BENCHES = {
     "engine_event_throughput": bench_engine_event_throughput,
     "mapper_solve_8x4": bench_mapper_solve_8x4,
     "mapper_solve_32x8": bench_mapper_solve_32x8,
+    "mapper_repair": bench_mapper_repair,
     "trace_query": bench_trace_query,
     "full_scheduled_epoch": bench_full_scheduled_epoch,
     "vectorised_lcg": bench_vectorised_lcg,

@@ -45,8 +45,9 @@ from __future__ import annotations
 import itertools
 import math
 import os
-from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+import warnings
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
 __all__ = [
     "MappingResult",
@@ -72,14 +73,31 @@ EXACT_LIMIT_ENV = "MULTICL_MAPPER_EXACT_MAX_QUEUES"
 DEFAULT_EXACT_LIMIT = 16
 
 
+#: Raw values of EXACT_LIMIT_ENV already warned about (warn once per value,
+#: not once per scheduler trigger — _exact_limit runs on the hot path).
+_warned_exact_limits: Set[str] = set()
+
+
 def _exact_limit() -> int:
     raw = os.environ.get(EXACT_LIMIT_ENV)
     if raw is None:
         return DEFAULT_EXACT_LIMIT
     try:
-        return max(0, int(raw))
+        value = int(raw)
     except ValueError:
+        value = -1
+    if value < 0:
+        if raw not in _warned_exact_limits:
+            _warned_exact_limits.add(raw)
+            warnings.warn(
+                f"ignoring invalid {EXACT_LIMIT_ENV}={raw!r}: expected a "
+                f"non-negative integer queue count; using the default "
+                f"({DEFAULT_EXACT_LIMIT})",
+                RuntimeWarning,
+                stacklevel=2,
+            )
         return DEFAULT_EXACT_LIMIT
+    return value
 
 
 @dataclass(frozen=True)
@@ -88,12 +106,21 @@ class MappingResult:
 
     ``exact`` is False when the result came from the greedy large-pool
     fallback rather than the exact branch-and-bound search.
+
+    ``repaired`` is True when the result came from
+    :func:`repro.core.constraints.repair_mapping`'s incremental path (the
+    surviving assignment patched in place) rather than a full solve;
+    ``migrated_queues`` then lists every queue whose device changed.  Full
+    solves reached through a rejected repair also fill ``migrated_queues``
+    (with ``repaired=False``), so telemetry can always see churn.
     """
 
     mapping: Dict[str, str]
     makespan: float
     explored: int = 0
     exact: bool = True
+    repaired: bool = False
+    migrated_queues: Tuple[str, ...] = field(default=())
 
     def device_loads(self, cost: Mapping[str, Mapping[str, float]]) -> Dict[str, float]:
         loads: Dict[str, float] = {}

@@ -30,6 +30,8 @@ __all__ = [
     "PREDICT_ENV",
     "PREDICT_TOLERANCE_ENV",
     "PREDICT_CONFIDENCE_ENV",
+    "MAPPER_REPAIR_ENV",
+    "MAPPER_REPAIR_THRESHOLD_ENV",
 ]
 
 #: SchedFlag value -> the (frozen) options instance it denotes.
@@ -57,6 +59,19 @@ PREDICT_TOLERANCE_ENV = "MULTICL_PREDICT_TOLERANCE"
 #: Minimum predictor confidence (leverage-gated, in [0, 1]) required to
 #: skip measurement for a kernel (float, default 0.5).
 PREDICT_CONFIDENCE_ENV = "MULTICL_PREDICT_CONFIDENCE"
+
+#: Incremental mapping repair (:mod:`repro.core.constraints`) on device
+#: failure, plus result reuse when the scheduler's inputs are unchanged.
+#: On by default; "0"/"false"/... disables, restoring the always-re-solve
+#: path.  With no fault injected the mapping decisions are bit-identical
+#: either way (reuse returns the cached result of the same pure solve).
+MAPPER_REPAIR_ENV = "MULTICL_MAPPER_REPAIR"
+
+#: Repair acceptance threshold: a repaired assignment is kept only while
+#: its makespan stays within this factor of the previous makespan scaled
+#: for the lost capacity (float >= 1.0, default 1.25); beyond it the
+#: scheduler falls back to a full re-solve.
+MAPPER_REPAIR_THRESHOLD_ENV = "MULTICL_MAPPER_REPAIR_THRESHOLD"
 
 _TRUE_WORDS = frozenset({"1", "true", "yes", "on"})
 
@@ -102,6 +117,13 @@ class SchedulerConfig:
     #: Directory holding fitted predictor models ("" = resolve from
     #: ``MULTICL_PREDICT_DIR``, else the profile cache directory).
     predict_dir: str = ""
+    #: Repair the existing queue→device assignment incrementally on device
+    #: failure (and reuse it outright when nothing changed) instead of
+    #: re-solving the whole pool (:mod:`repro.core.constraints`).
+    mapper_repair: bool = True
+    #: Accept a repair only while its makespan stays within this factor of
+    #: the capacity-scaled previous makespan (>= 1.0).
+    repair_threshold: float = 1.25
 
     def with_(self, **kw) -> "SchedulerConfig":
         """Functional update helper."""
@@ -126,6 +148,9 @@ class SchedulerConfig:
         predict = os.environ.get(PREDICT_ENV)
         if predict is not None:
             cfg = cfg.with_(predict=predict.strip().lower() in _TRUE_WORDS)
+        repair = os.environ.get(MAPPER_REPAIR_ENV)
+        if repair is not None:
+            cfg = cfg.with_(mapper_repair=repair.strip().lower() in _TRUE_WORDS)
         for env, attr in (
             (PREDICT_TOLERANCE_ENV, "predict_tolerance"),
             (PREDICT_CONFIDENCE_ENV, "predict_confidence"),
@@ -143,6 +168,19 @@ class SchedulerConfig:
                 )
             else:
                 cfg = cfg.with_(**{attr: max(0.0, value_f)})
+        raw = os.environ.get(MAPPER_REPAIR_THRESHOLD_ENV)
+        if raw is not None:
+            try:
+                value_f = float(raw)
+            except ValueError:
+                warnings.warn(
+                    f"ignoring invalid {MAPPER_REPAIR_THRESHOLD_ENV}={raw!r}: "
+                    f"expected a float >= 1.0",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+            else:
+                cfg = cfg.with_(repair_threshold=max(1.0, value_f))
         return cfg
 
 

@@ -53,6 +53,13 @@ class RunStats:
     #: simulated seconds lost to faults and recovery (aborted partial
     #: executions, slowdown windows, replay backoff)
     downtime_seconds: float = 0.0
+    #: mapping computations priced as a full pool solve ("device-map"
+    #: intervals: fresh solves plus cached reuses of an identical solve,
+    #: which deliberately record the same interval)
+    mapper_solves: int = 0
+    #: mapping computations satisfied by incremental repair of the
+    #: surviving assignment (:mod:`repro.core.constraints`)
+    mapper_repairs: int = 0
 
     @property
     def profiling_seconds(self) -> float:
@@ -84,6 +91,8 @@ class RunStats:
         remaps = 0
         replays = 0
         downtime = 0.0
+        solves = 0
+        repairs = 0
         for iv in trace:
             # Clip every interval to [t0, t1) and credit only the in-window
             # seconds (mirrors utilization_report): an interval straddling
@@ -113,6 +122,14 @@ class RunStats:
                         remaps += 1
                     elif op == "replay":
                         replays += 1
+            elif iv.category == "schedule" and t0 <= iv.start < t1:
+                # Mapping-path split (start-based ownership, like kernel
+                # counts): a full solve and an incremental repair charge the
+                # same host seconds but record distinct interval names.
+                if iv.task == "device-map":
+                    solves += 1
+                elif iv.task == "device-repair":
+                    repairs += 1
         return RunStats(
             duration=t1 - t0,
             by_category=by_cat,
@@ -121,6 +138,8 @@ class RunStats:
             remap_count=remaps,
             replayed_commands=replays,
             downtime_seconds=downtime,
+            mapper_solves=solves,
+            mapper_repairs=repairs,
         )
 
 

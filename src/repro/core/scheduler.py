@@ -25,7 +25,8 @@ from __future__ import annotations
 import math
 from typing import Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
 
-from repro.core.device_mapper import MapperError, optimal_mapping
+from repro.core.constraints import MappingDelta, repair_mapping
+from repro.core.device_mapper import MapperError, MappingResult, optimal_mapping
 from repro.core.flags import CONFIG_PROPERTY_KEY, ScheduleOptions, SchedulerConfig
 from repro.core.kernel_profiler import KernelProfiler
 from repro.core.minikernel import transform_program
@@ -82,6 +83,24 @@ class MultiCLSchedulerBase(SchedulerBase):
             attach_predictor(self.profiler)
         #: One entry per trigger: {queue name: device name}.
         self.mapping_history: List[Dict[str, str]] = []
+        #: Mapping-path counters (AUTO_FIT; zero under ROUND_ROBIN): full
+        #: pool solves, incremental repairs, and unchanged-input reuses.
+        self.mapper_solves = 0
+        self.mapper_repairs = 0
+        self.mapper_reuses = 0
+        #: Most recent MappingResult, so fault-recovery accounting can tag
+        #: remaps with whether a repair or a re-solve produced them.
+        self.last_mapping: Optional[MappingResult] = None
+        #: ((queue names, devices), cost, preferred, result) of the last
+        #: dynamic solve — the inputs the repair/reuse paths diff against.
+        self._mapper_state: Optional[
+            Tuple[
+                Tuple[Tuple[str, ...], Tuple[str, ...]],
+                Dict[str, Dict[str, float]],
+                Dict[str, str],
+                MappingResult,
+            ]
+        ] = None
         #: SnuCL device order memoised per active-device tuple: the pool
         #: only changes on fission or device failure, while high-frequency
         #: drivers (service replay) trigger the scheduler every epoch.
@@ -144,6 +163,25 @@ class MultiCLSchedulerBase(SchedulerBase):
         """Kernel/epoch profiles measured on ``device`` are dead weight;
         drop them so degraded-pool mapping never consults the failure."""
         self.profiler.invalidate_device(device)
+
+    def on_device_slowdown(self, device: str) -> None:
+        """A transient slowdown began: measurements taken on ``device``
+        from now on do not reflect its fitted performance model.  Only the
+        predictor's learned runtime state is dropped — measured kernel
+        profiles stay valid for mapping (the slowdown is real observed
+        time), and non-predicting runs are untouched."""
+        predictor = getattr(self.profiler, "predictor", None)
+        if predictor is not None:
+            predictor.invalidate_device(device)
+
+    def on_device_recovery(self, device: str) -> None:
+        """The slowdown cleared: drop residuals/corrections learned during
+        the window and re-arm the predictor, so its corrector re-anchors on
+        the first healthy measurement instead of keeping slowdown-era
+        re-fits forever."""
+        predictor = getattr(self.profiler, "predictor", None)
+        if predictor is not None:
+            predictor.invalidate_device(device)
 
     # -- helpers -----------------------------------------------------------
     def _active_devices(self) -> List[str]:
@@ -279,14 +317,72 @@ class AutoFitScheduler(MultiCLSchedulerBase):
                 row[d] = seconds + self._transfer_estimate(q, d, profile, bufs)
             cost[q.name] = row
         preferred = {q.name: q.device for q in queues}
-        result = optimal_mapping([q.name for q in queues], devices, cost, preferred)
+        names = [q.name for q in queues]
+        result, interval_name = self._solve_mapping(names, devices, cost, preferred)
         # The mapping computation itself is host work (Section V.A: the DP
-        # "incurs negligible overhead").
+        # "incurs negligible overhead").  Repair and reuse are charged the
+        # same host interval as a solve so virtual time stays bit-identical
+        # whichever path produced the mapping.
         self.context.platform.engine.elapse(
-            self.config.mapping_host_seconds, category="schedule", name="device-map"
+            self.config.mapping_host_seconds, category="schedule", name=interval_name
         )
         for q in queues:
             q.rebind(result.mapping[q.name])
+
+    def _solve_mapping(
+        self,
+        names: List[str],
+        devices: Sequence[str],
+        cost: Dict[str, Dict[str, float]],
+        preferred: Dict[str, str],
+    ) -> Tuple[MappingResult, str]:
+        """Pick the cheapest correct mapping path: reuse, repair, or solve.
+
+        With ``config.mapper_repair`` on, the previous trigger's inputs and
+        result are memoised.  Identical inputs return the cached result of
+        the same pure solve (bit-identical by construction).  A shrunk
+        device pool over a surviving queue subset — the fault signature —
+        goes through :func:`repair_mapping`, which migrates only orphaned
+        queues when that stays within the quality gate and otherwise falls
+        back to a full solve.  Any other change re-solves from scratch.
+        """
+        key = (tuple(names), tuple(devices))
+        state = self._mapper_state
+        if self.config.mapper_repair and state is not None:
+            prev_key, prev_cost, prev_pref, prev_result = state
+            if key == prev_key and cost == prev_cost and preferred == prev_pref:
+                self.mapper_reuses += 1
+                self.last_mapping = prev_result
+                return prev_result, "device-map"
+            prev_names, prev_devices = prev_key
+            removed = tuple(d for d in prev_devices if d not in devices)
+            if (
+                removed
+                and set(names) <= set(prev_names)
+                and all(d in prev_devices for d in devices)
+            ):
+                delta = MappingDelta(removed_devices=removed)
+                result = repair_mapping(
+                    prev_result,
+                    delta,
+                    names,
+                    list(devices),
+                    cost,
+                    threshold=self.config.repair_threshold,
+                )
+                if result.repaired:
+                    self.mapper_repairs += 1
+                else:
+                    self.mapper_solves += 1
+                self._mapper_state = (key, cost, dict(preferred), result)
+                self.last_mapping = result
+                return result, ("device-repair" if result.repaired else "device-map")
+        result = optimal_mapping(names, devices, cost, preferred)
+        self.mapper_solves += 1
+        if self.config.mapper_repair:
+            self._mapper_state = (key, cost, dict(preferred), result)
+        self.last_mapping = result
+        return result, "device-map"
 
     def _epoch_buffers(self, q: "CommandQueue") -> List[Buffer]:
         out: List[Buffer] = []

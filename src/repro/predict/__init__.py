@@ -122,6 +122,9 @@ class Predictor:
         self._inverses: Dict[Tuple[str, str], List[List[float]]] = {}
         #: (program id, kernel name) -> extracted features
         self._features: BoundedLRU = BoundedLRU(256)
+        #: devices invalidated by a fault whose next observation must force
+        #: a re-fit (re-arm), regardless of how small its residual is
+        self._invalidated: set = set()
 
     # ------------------------------------------------------------------
     # Feature access
@@ -249,7 +252,13 @@ class Predictor:
         if len(records) > _MAX_RESIDUALS:
             del records[: len(records) - _MAX_RESIDUALS]
         self.stats.observations += 1
-        if rel > self.tolerance and kernel._cost_model is None:
+        # A device invalidated by a fault (slowdown cleared, device
+        # recovered) re-anchors on its first healthy measurement even when
+        # the residual is within tolerance — the stale weights may be
+        # coincidentally close at this one operating point.
+        rearmed = device in self._invalidated
+        self._invalidated.discard(device)
+        if (rel > self.tolerance or rearmed) and kernel._cost_model is None:
             kind = self.kinds.get(device)
             if kind is not None:
                 wc, wm = self._device_weights(device)
@@ -274,11 +283,16 @@ class Predictor:
         return rel
 
     def invalidate_device(self, device: str) -> int:
-        """Drop ``device``'s residual state after a fault (fail-stop).
+        """Drop ``device``'s residual state after a fault and re-arm it.
 
-        A failed device's residuals and online observations must not poison
-        re-fits after recovery or re-profiling on the degraded pool.
-        Returns the number of records dropped.
+        Called on fail-stop (a dead device's residuals must not poison
+        re-fits on the degraded pool) and on slowdown edges (observations
+        taken under a transient slowdown — or predictions fitted before
+        one cleared — are wrong for the device's current speed).  The
+        device gets a fresh residual ring, its slowdown-era online
+        observations are discarded, and it is marked re-armed so the next
+        :meth:`observe` forces a re-fit even if the residual happens to be
+        within tolerance.  Returns the number of records dropped.
         """
         removed = 0
         records = self.residuals.pop(device, None)
@@ -289,6 +303,7 @@ class Predictor:
             if extra is not None:
                 removed += extra.count
         self._drop_caches(device)
+        self._invalidated.add(device)
         self.stats.invalidations += removed
         return removed
 

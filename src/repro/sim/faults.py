@@ -209,9 +209,11 @@ class FaultInjector:
         engine = self.engine
         start = engine.now
         device.slowdown = ev.factor
+        self._notify_slowdown(ev.target, "on_device_slowdown")
 
         def restore() -> None:
             device.slowdown = 1.0
+            self._notify_slowdown(ev.target, "on_device_recovery")
             engine.trace.record(
                 resource=f"dev:{ev.target}",
                 task=f"slowdown:{ev.target}",
@@ -222,6 +224,18 @@ class FaultInjector:
             )
 
         engine.schedule_after(ev.duration, restore)
+
+    def _notify_slowdown(self, device: str, hook: str) -> None:
+        """Forward a slowdown edge to the scheduler, if it listens.
+
+        Only the predictor's learned state is affected on the scheduler
+        side — measured profile caches stay valid (the slowdown is real
+        observed time), so non-predicting runs see no behaviour change.
+        """
+        scheduler = self.context.scheduler
+        fn = getattr(scheduler, hook, None)
+        if fn is not None:
+            fn(device)
 
     def _link_outage(self, ev: FaultEvent) -> None:
         links = self.context.platform.node.links
@@ -280,6 +294,25 @@ class FaultInjector:
         affected, replayed = self._requeue(dev, now)
         self.replayed_commands += replayed
 
+        # Snapshot queue→device at *injection time*, before the backoff
+        # elapse below can run a nested fault handler: a second failure
+        # inside the backoff window triggers a full scheduling pass that
+        # already moves this fault's queues, so a later snapshot would
+        # under-count remaps and name the wrong origin device.  The guard
+        # makes the record idempotent — whichever sync pass completes first
+        # (the nested one or ours) does the accounting, exactly once.
+        before = {q.name: q.device for q in affected}
+        recorded = [False]
+
+        def record() -> None:
+            if recorded[0]:
+                return
+            recorded[0] = True
+            self._record_remaps(affected, before, dev)
+
+        if context.scheduler is not None:
+            context.after_sync(record)
+
         # Sweep orphaned simulated work (e.g. profiling launches) off the
         # dead execution resource; their waiters are released so a blocked
         # profiling join returns with whatever the survivors measured.
@@ -302,16 +335,14 @@ class FaultInjector:
         # pass is already in flight (failure during profiling) the context
         # folds this request into it; the remap accounting runs after the
         # pass completes either way.
-        before = {q.name: q.device for q in affected}
         if context.scheduler is not None:
-            context.after_sync(lambda: self._record_remaps(affected, before, dev))
             context._sync_pending()
         else:
             # Scheduler-less context: simple failover to the first survivor.
             for q in affected:
                 q.rebind(survivors[0])
             context.issue_pool([q for q in affected if q.pending])
-            self._record_remaps(affected, before, dev)
+            record()
 
     def _requeue(self, dev: str, now: float) -> Tuple[list, int]:
         """Requeue unfinished commands touching ``dev``; returns
@@ -350,6 +381,13 @@ class FaultInjector:
     def _record_remaps(self, affected, before, dev: str) -> None:
         engine = self.engine
         now = engine.now
+        repaired = bool(
+            getattr(
+                getattr(self.context.scheduler, "last_mapping", None),
+                "repaired",
+                False,
+            )
+        )
         for q in affected:
             old = before.get(q.name)
             if old is None or q.device == old:
@@ -361,5 +399,11 @@ class FaultInjector:
                 category=RECOVERY_CATEGORY,
                 start=now,
                 end=now,
-                meta={"op": "remap", "queue": q.name, "from": old, "to": q.device},
+                meta={
+                    "op": "remap",
+                    "queue": q.name,
+                    "from": old,
+                    "to": q.device,
+                    "repaired": repaired,
+                },
             )

@@ -199,6 +199,62 @@ def test_replay_budget_exhaustion_raises(profile_dir):
         q.finish()
 
 
+def test_two_faults_one_epoch_snapshot_accounting(profile_dir):
+    """Regression: a second device failing inside the first failure's
+    backoff window runs a full scheduling pass that already moves the first
+    fault's queues.  The first fault's remap accounting must therefore use
+    the queue→device snapshot captured at *injection* time — a late
+    snapshot under-counts the remaps and names the wrong origin device."""
+    from repro.hardware.presets import aji_cluster15_node
+
+    mcl = MultiCL(
+        node_spec=aji_cluster15_node(),
+        policy=ContextScheduler.AUTO_FIT,
+        profile_dir=profile_dir,
+    )
+    ctx = mcl.context
+    program = ctx.create_program(PROGRAM).build()
+    buf_a = ctx.create_buffer(4 * N, host_array=np.ones(N, np.float32), name="a")
+    buf_b = ctx.create_buffer(4 * N, host_array=np.ones(N, np.float32), name="b")
+    ka = program.create_kernel("scale_a")
+    ka.set_arg(0, buf_a)
+    ka.set_arg(1, N)
+    kb = program.create_kernel("scale_b")
+    kb.set_arg(0, buf_b)
+    kb.set_arg(1, N)
+    q1 = mcl.queue(flags=AUTO, name="q1")
+    q2 = mcl.queue(flags=AUTO, name="q2")
+    for _ in range(2):
+        _epoch((q1, q2), (ka, kb))
+
+    d1, d2 = q1.device, q2.device
+    assert d1 != d2, "need both queues on distinct devices for this scenario"
+    # Fault 1 lands mid-kernel; fault 2 lands 0.1 ms later — inside fault
+    # 1's 1 ms replay backoff, while q1's kernel is still in flight.
+    t1 = mcl.now + 2e-4
+    injector = mcl.inject_faults(
+        FaultPlan().fail_device(d2, at=t1).fail_device(d1, at=t1 + 1e-4)
+    )
+    for _ in range(3):
+        _epoch((q1, q2), (ka, kb))
+
+    assert injector.failures == 2
+    survivor = q1.device
+    assert survivor not in (d1, d2)
+    metas = [
+        iv.meta
+        for iv in mcl.engine.trace
+        if iv.category == RECOVERY_CATEGORY and iv.meta.get("op") == "remap"
+    ]
+    # Both queues' remaps are recorded, each naming its true origin.
+    assert injector.remapped_queues >= 2
+    assert any(m["queue"] == "q2" and m["from"] == d2 for m in metas), metas
+    assert any(m["queue"] == "q1" and m["from"] == d1 for m in metas), metas
+    # No remap may claim a queue came from a device it never held.
+    for m in metas:
+        assert m["from"] in (d1, d2), m
+
+
 # ---------------------------------------------------------------------------
 # Scheduler-specific recovery paths
 # ---------------------------------------------------------------------------

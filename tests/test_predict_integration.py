@@ -221,6 +221,96 @@ def test_device_failure_drops_predictor_state(profile_dir):
     assert predictor.stats.observations > 0
 
 
+def test_invalidate_device_rearms_next_observe(profile_dir):
+    """Regression: after a fault-driven invalidation the device's next
+    observation must force a re-fit even when its residual happens to be
+    within tolerance — otherwise a recovered device keeps stale weights
+    forever."""
+    mcl = MultiCL(
+        policy=ContextScheduler.AUTO_FIT,
+        config=SchedulerConfig(predict=True),
+        profile_dir=profile_dir,
+    )
+    ctx = mcl.context
+    program = ctx.create_program(PROGRAM).build()
+    k = program.create_kernel("scale_a")
+    buf = ctx.create_buffer(4 * N)
+    buf.mark_valid("host")
+    k.set_arg(0, buf)
+    k.set_arg(1, N)
+    q = mcl.queue(flags=AUTO, name="q0")
+    q.enqueue_nd_range_kernel(k, (N,), (128,))
+    q.finish()
+    predictor = mcl.context.scheduler.profiler.predictor
+    feat = predictor.features_for(k)
+    device = next(iter(predictor.model.devices))
+    predictor.tolerance = 1e9  # residuals alone can never trip a re-fit
+
+    from repro.ocl.kernel import WorkGroupConfig
+
+    class _FakeCmd:
+        kernel = k
+        launch = WorkGroupConfig.normalize((N,), (128,))
+
+    spot_on = predictor.predict_seconds(feat, device, N)
+    before = predictor.stats.refits
+    predictor.observe(_FakeCmd(), device, spot_on)  # rel ≈ 0: no re-fit
+    assert predictor.stats.refits == before
+
+    predictor.invalidate_device(device)  # slowdown cleared / device lost
+    predictor.observe(_FakeCmd(), device, spot_on)
+    assert predictor.stats.refits == before + 1  # re-armed: forced re-fit
+    predictor.observe(_FakeCmd(), device, spot_on)
+    assert predictor.stats.refits == before + 1  # armed exactly once
+
+
+def test_slowdown_then_clear_rearms_predictor(profile_dir):
+    """A transient slowdown window must invalidate the device's predictor
+    state at both edges (slowdown-era residuals are wrong once cleared) and
+    re-fit on the first healthy measurement after recovery."""
+    cfg = SchedulerConfig(
+        predict=True,
+        predict_confidence=1.1,  # decline everything → always measure
+        predict_tolerance=1e9,  # re-fits can only come from the re-arm
+        iterative_refresh=1,  # re-measure every trigger → observe() flows
+    )
+    mcl = MultiCL(
+        node_spec=symmetric_dual_gpu_node(),
+        policy=ContextScheduler.AUTO_FIT,
+        config=cfg,
+        profile_dir=profile_dir,
+    )
+    ctx = mcl.context
+    program = ctx.create_program(PROGRAM).build()
+    k = program.create_kernel("scale_a")
+    buf = ctx.create_buffer(4 * N)
+    buf.mark_valid("host")
+    k.set_arg(0, buf)
+    k.set_arg(1, N)
+    q = mcl.queue(flags=AUTO, name="q1")
+    for _ in range(2):
+        q.enqueue_nd_range_kernel(k, (N,), (128,))
+        q.finish()
+    predictor = mcl.context.scheduler.profiler.predictor
+    assert predictor.stats.observations > 0
+    assert predictor.stats.refits == 0
+    assert predictor.residuals  # warm residual rings on the measured pool
+
+    mcl.inject_faults(
+        FaultPlan().slow_device("gpu0", at=mcl.now + 1e-6, duration=1e-3, factor=3.0)
+    )
+    mcl.engine.elapse(2e-3)  # window opens and closes, no measurements in it
+    # Both edges invalidated gpu0: fresh residual ring, device re-armed.
+    assert "gpu0" not in predictor.residuals
+    assert "gpu0" in predictor._invalidated
+
+    q.enqueue_nd_range_kernel(k, (N,), (128,))
+    q.finish()
+    # First healthy measurement after recovery re-anchored the model.
+    assert predictor.stats.refits >= 1
+    assert "gpu0" not in predictor._invalidated
+
+
 def test_invalidate_device_unit(profile_dir):
     from repro.hardware.presets import aji_cluster15_node
     from repro.predict import Predictor, load_or_fit
