@@ -141,6 +141,140 @@ def test_full_scheduled_epoch(benchmark, tmp_path_factory):
     assert result > 0
 
 
+def test_issue_pool_wide(benchmark, tmp_path_factory):
+    """Wide-pool issue: 24 auto queues with cross-queue wait events
+    (the indegree ready-list in ``Context.issue_pool``)."""
+    from repro.core.runtime import MultiCL
+    from repro.ocl.enums import ContextScheduler, SchedFlag
+
+    profile_dir = str(tmp_path_factory.mktemp("perf-wide"))
+    src = (
+        "// @multicl flops_per_item=50 bytes_per_item=8 writes=1\n"
+        "__kernel void k(__global float* a, int n) { }"
+    )
+
+    def run():
+        n = 1 << 12
+        mcl = MultiCL(policy=ContextScheduler.AUTO_FIT, profile_dir=profile_dir)
+        prog = mcl.context.create_program(src).build()
+        queues, events = [], []
+        for i in range(24):
+            kern = prog.create_kernel("k")
+            buf = mcl.context.create_buffer(4 * n)
+            kern.set_arg(0, buf)
+            kern.set_arg(1, n)
+            q = mcl.queue(flags=SchedFlag.SCHED_AUTO_DYNAMIC)
+            for j in range(12):
+                waits = [events[-1]] if events and (i + j) % 3 == 0 else []
+                events.append(
+                    q.enqueue_nd_range_kernel(kern, (n,), (64,), wait_events=waits)
+                )
+            queues.append(q)
+        for q in queues:
+            q.finish()
+        return mcl.now
+
+    result = benchmark(run)
+    assert result > 0
+
+
+def test_overlap_issue(benchmark, tmp_path_factory):
+    """Overlap-aware issue of a double-buffered streaming pool under
+    ``SCHED_OVERLAP`` (graph build + happens-before validation + ready
+    queue), and its makespan win over FIFO issue."""
+    import numpy as np
+
+    from repro.core.runtime import MultiCL
+    from repro.ocl.enums import ContextScheduler, SchedFlag
+
+    profile_dir = str(tmp_path_factory.mktemp("perf-overlap"))
+    src = (
+        "// @multicl flops_per_item=200 bytes_per_item=8 writes=1\n"
+        "__kernel void s(__global float* a, __global float* b, int n) { }"
+    )
+
+    def run(overlap=True):
+        n = 1 << 18
+        mcl = MultiCL(
+            policy=ContextScheduler.AUTO_FIT,
+            profile_dir=profile_dir,
+            overlap=overlap,
+        )
+        ctx = mcl.context
+        kern = ctx.create_program(src).build().create_kernel("s")
+        q = ctx.create_queue(
+            sched_flags=SchedFlag.SCHED_AUTO_DYNAMIC | SchedFlag.SCHED_KERNEL_EPOCH
+        )
+        chunks = [
+            ctx.create_buffer(4 * n, host_array=np.zeros(n, np.float32))
+            for _ in range(2)
+        ]
+        outs = [
+            ctx.create_buffer(4 * n, host_array=np.zeros(n, np.float32))
+            for _ in range(2)
+        ]
+        data = np.ones(n, np.float32)
+        res = np.empty(n, np.float32)
+        for i in range(8):
+            a, b = chunks[i % 2], outs[i % 2]
+            q.enqueue_write_buffer(a, data)
+            kern.set_arg(0, a)
+            kern.set_arg(1, b)
+            kern.set_arg(2, n)
+            q.enqueue_nd_range_kernel(kern, (n,), (64,))
+            q.enqueue_read_buffer(b, res)
+        q.finish()
+        return mcl.now
+
+    run()  # warm the on-disk profile cache so both variants skip profiling
+    overlapped = benchmark(run)
+    assert 0 < overlapped < run(overlap=False)
+
+
+def test_split_epoch(benchmark, tmp_path_factory):
+    """SCHED_SPLIT epoch: plan + issue of kernel epochs partitioned across
+    all three stock devices, merging join included."""
+    import numpy as np
+
+    from repro.core.runtime import MultiCL
+    from repro.ocl.enums import ContextScheduler, SchedFlag
+
+    profile_dir = str(tmp_path_factory.mktemp("perf-split"))
+    src = (
+        "// @multicl flops_per_item=400 bytes_per_item=8 writes=1\n"
+        "__kernel void w(__global float* a, __global float* b, int n) { }"
+    )
+
+    def run():
+        n = 1 << 18
+        mcl = MultiCL(
+            policy=ContextScheduler.AUTO_FIT,
+            profile_dir=profile_dir,
+            split=True,
+        )
+        ctx = mcl.context
+        kern = ctx.create_program(src).build().create_kernel("w")
+        q = ctx.create_queue(
+            sched_flags=SchedFlag.SCHED_AUTO_DYNAMIC | SchedFlag.SCHED_KERNEL_EPOCH
+        )
+        a = ctx.create_buffer(4 * n, host_array=np.zeros(n, np.float32))
+        b = ctx.create_buffer(4 * n, host_array=np.zeros(n, np.float32))
+        q.enqueue_write_buffer(a, np.ones(n, np.float32))
+        kern.set_arg(0, a)
+        kern.set_arg(1, b)
+        kern.set_arg(2, n)
+        for _ in range(4):
+            q.enqueue_nd_range_kernel(kern, (n,), (64,))
+        q.finish()
+        split_joins = sum(
+            1 for iv in mcl.engine.trace if iv.task.startswith("split-join:")
+        )
+        return mcl.now if split_joins else -1.0
+
+    result = benchmark(run)
+    assert result > 0  # split engaged and the epochs completed
+
+
 def test_vectorised_lcg_throughput(benchmark):
     """The O(n log n) NPB generator on a 256k stream."""
     uniforms, _ = benchmark(numerics.vranlc_fast, 1 << 18, 271828183.0)

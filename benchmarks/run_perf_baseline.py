@@ -136,6 +136,141 @@ def bench_full_scheduled_epoch() -> float:
     return mcl.now
 
 
+_WIDE_PROFILE_DIR = None
+
+
+def bench_issue_pool_wide() -> float:
+    """Wide-pool issue throughput: 24 auto queues x 12 kernels with
+    cross-queue wait events — the indegree ready-list hot path of
+    ``Context.issue_pool`` (formerly an O(n^2) rescan)."""
+    global _WIDE_PROFILE_DIR
+    if _WIDE_PROFILE_DIR is None:
+        _WIDE_PROFILE_DIR = tempfile.mkdtemp(prefix="perf-baseline-wide-")
+    from repro.core.runtime import MultiCL
+    from repro.ocl.enums import ContextScheduler, SchedFlag
+
+    src = (
+        "// @multicl flops_per_item=50 bytes_per_item=8 writes=1\n"
+        "__kernel void k(__global float* a, int n) { }"
+    )
+    n = 1 << 12
+    mcl = MultiCL(policy=ContextScheduler.AUTO_FIT, profile_dir=_WIDE_PROFILE_DIR)
+    prog = mcl.context.create_program(src).build()
+    queues, events = [], []
+    for i in range(24):
+        kern = prog.create_kernel("k")
+        buf = mcl.context.create_buffer(4 * n)
+        kern.set_arg(0, buf)
+        kern.set_arg(1, n)
+        q = mcl.queue(flags=SchedFlag.SCHED_AUTO_DYNAMIC)
+        for j in range(12):
+            waits = [events[-1]] if events and (i + j) % 3 == 0 else []
+            events.append(
+                q.enqueue_nd_range_kernel(kern, (n,), (64,), wait_events=waits)
+            )
+        queues.append(q)
+    for q in queues:
+        q.finish()
+    return mcl.now
+
+
+_OVERLAP_PROFILE_DIR = None
+
+
+def bench_overlap_issue() -> float:
+    """Overlap-aware issue of a double-buffered streaming pool: 8 rounds of
+    upload + kernel + read-back on one in-order queue under
+    ``SCHED_OVERLAP`` (ready-queue construction, happens-before validation,
+    duplex-link scheduling).  The checksum is the virtual makespan, so a
+    change to the relaxed issue order fails the gate."""
+    global _OVERLAP_PROFILE_DIR
+    if _OVERLAP_PROFILE_DIR is None:
+        _OVERLAP_PROFILE_DIR = tempfile.mkdtemp(prefix="perf-baseline-overlap-")
+    import numpy as np
+
+    from repro.core.runtime import MultiCL
+    from repro.ocl.enums import ContextScheduler, SchedFlag
+
+    src = (
+        "// @multicl flops_per_item=200 bytes_per_item=8 writes=1\n"
+        "__kernel void s(__global float* a, __global float* b, int n) { }"
+    )
+    n = 1 << 18
+    mcl = MultiCL(
+        policy=ContextScheduler.AUTO_FIT,
+        profile_dir=_OVERLAP_PROFILE_DIR,
+        overlap=True,
+    )
+    ctx = mcl.context
+    kern = ctx.create_program(src).build().create_kernel("s")
+    q = ctx.create_queue(
+        sched_flags=SchedFlag.SCHED_AUTO_DYNAMIC | SchedFlag.SCHED_KERNEL_EPOCH
+    )
+    chunks = [
+        ctx.create_buffer(4 * n, host_array=np.zeros(n, np.float32))
+        for _ in range(2)
+    ]
+    outs = [
+        ctx.create_buffer(4 * n, host_array=np.zeros(n, np.float32))
+        for _ in range(2)
+    ]
+    data = np.ones(n, np.float32)
+    res = np.empty(n, np.float32)
+    for i in range(8):
+        a, b = chunks[i % 2], outs[i % 2]
+        q.enqueue_write_buffer(a, data)
+        kern.set_arg(0, a)
+        kern.set_arg(1, b)
+        kern.set_arg(2, n)
+        q.enqueue_nd_range_kernel(kern, (n,), (64,))
+        q.enqueue_read_buffer(b, res)
+    q.finish()
+    return mcl.now
+
+
+_SPLIT_PROFILE_DIR = None
+
+
+def bench_split_epoch() -> float:
+    """SCHED_SPLIT epoch cost: plan + issue of 4 kernel epochs partitioned
+    across all three stock devices (slice transfers, sub-kernels, gathers,
+    merging joins).  The checksum is the virtual makespan, so a change to
+    share computation or sub-task emission fails the gate."""
+    global _SPLIT_PROFILE_DIR
+    if _SPLIT_PROFILE_DIR is None:
+        _SPLIT_PROFILE_DIR = tempfile.mkdtemp(prefix="perf-baseline-split-")
+    import numpy as np
+
+    from repro.core.runtime import MultiCL
+    from repro.ocl.enums import ContextScheduler, SchedFlag
+
+    src = (
+        "// @multicl flops_per_item=400 bytes_per_item=8 writes=1\n"
+        "__kernel void w(__global float* a, __global float* b, int n) { }"
+    )
+    n = 1 << 18
+    mcl = MultiCL(
+        policy=ContextScheduler.AUTO_FIT,
+        profile_dir=_SPLIT_PROFILE_DIR,
+        split=True,
+    )
+    ctx = mcl.context
+    kern = ctx.create_program(src).build().create_kernel("w")
+    q = ctx.create_queue(
+        sched_flags=SchedFlag.SCHED_AUTO_DYNAMIC | SchedFlag.SCHED_KERNEL_EPOCH
+    )
+    a = ctx.create_buffer(4 * n, host_array=np.zeros(n, np.float32))
+    b = ctx.create_buffer(4 * n, host_array=np.zeros(n, np.float32))
+    q.enqueue_write_buffer(a, np.ones(n, np.float32))
+    kern.set_arg(0, a)
+    kern.set_arg(1, b)
+    kern.set_arg(2, n)
+    for _ in range(4):
+        q.enqueue_nd_range_kernel(kern, (n,), (64,))
+    q.finish()
+    return mcl.now
+
+
 def bench_vectorised_lcg() -> float:
     uniforms, seed = numerics.vranlc_fast(1 << 18, 271828183.0)
     return float(uniforms[:64].sum()) + seed / 2.0**46
@@ -394,6 +529,9 @@ BENCHES = {
     "mapper_repair": bench_mapper_repair,
     "trace_query": bench_trace_query,
     "full_scheduled_epoch": bench_full_scheduled_epoch,
+    "issue_pool_wide": bench_issue_pool_wide,
+    "overlap_issue": bench_overlap_issue,
+    "split_epoch": bench_split_epoch,
     "vectorised_lcg": bench_vectorised_lcg,
     "numerics_setup": bench_numerics_setup,
     "parallel_sweep": bench_parallel_sweep,

@@ -1,0 +1,103 @@
+#!/usr/bin/env python
+"""Transfer/compute overlap on a scheduled streaming workload.
+
+A double-buffered streaming pipeline — upload a chunk, process it, read the
+result back, eight times over two rotating buffer pairs — enqueued on a
+*single automatically scheduled in-order queue*.  Stock FIFO issue
+serialises the whole pipeline: upload *i+1* cannot even be submitted until
+read-back *i* has issued, so the PCIe link and the device take turns
+sitting idle.
+
+With ``SCHED_OVERLAP`` (here via ``MultiCL(overlap=True)``, equivalently
+``MULTICL_OVERLAP=1``) the runtime issues the same pool from a
+dependency-driven ready queue instead: uploads prefetch ahead, read-backs
+drain behind, and the per-link duplex DMA engines let both directions run
+concurrently with the kernels.  The reordering is validated against the
+pool's happens-before graph — commands that touch the same buffer keep
+their original order, so results are bit-identical to FIFO issue.
+
+Run:  python examples/streaming_overlap.py
+      MULTICL_SANITIZE=1 python examples/streaming_overlap.py
+"""
+
+import numpy as np
+
+from repro import MultiCL
+from repro.ocl.enums import ContextScheduler, SchedFlag
+from repro.sim.export import utilization_report
+
+PROGRAM = """
+// @multicl flops_per_item=200 bytes_per_item=8 writes=1
+__kernel void stream(__global float* in, __global float* out, int n) {
+  out[get_global_id(0)] = in[get_global_id(0)] * 2.0f;
+}
+"""
+
+N = 1 << 20
+ITERS = 8
+DEPTH = 2  # rotating buffer pairs (double buffering)
+
+
+def pipeline(overlap: bool):
+    mcl = MultiCL(policy=ContextScheduler.AUTO_FIT, overlap=overlap)
+    ctx = mcl.context
+    program = ctx.create_program(PROGRAM).build()
+    kernel = program.create_kernel("stream")
+    kernel.set_host_function(lambda a: a["out"].__setitem__(..., a["in"] * 2.0))
+    queue = ctx.create_queue(
+        sched_flags=SchedFlag.SCHED_AUTO_DYNAMIC | SchedFlag.SCHED_KERNEL_EPOCH
+    )
+    nbytes = 4 * N
+    chunks = [
+        ctx.create_buffer(nbytes, host_array=np.zeros(N, np.float32), name=f"chunk{i}")
+        for i in range(DEPTH)
+    ]
+    outs = [
+        ctx.create_buffer(nbytes, host_array=np.zeros(N, np.float32), name=f"out{i}")
+        for i in range(DEPTH)
+    ]
+    data = [np.full(N, float(i), np.float32) for i in range(ITERS)]
+    results = [np.empty(N, np.float32) for _ in range(ITERS)]
+    t0 = mcl.now
+    for i in range(ITERS):
+        chunk, out = chunks[i % DEPTH], outs[i % DEPTH]
+        queue.enqueue_write_buffer(chunk, data[i])
+        kernel.set_arg(0, chunk)
+        kernel.set_arg(1, out)
+        kernel.set_arg(2, N)
+        queue.enqueue_nd_range_kernel(kernel, (N,), (64,))
+        queue.enqueue_read_buffer(out, results[i])
+    queue.finish()
+    makespan = mcl.now - t0
+    ok = all(np.array_equal(r, d * 2.0) for r, d in zip(results, data))
+    report = utilization_report(mcl.engine.trace, t0, mcl.now)
+    return makespan, ok, report
+
+
+def main() -> None:
+    t_fifo, ok_fifo, _ = pipeline(overlap=False)
+    t_overlap, ok_overlap, report = pipeline(overlap=True)
+    assert ok_fifo and ok_overlap, "functional results diverged"
+
+    print(f"{ITERS} chunks of {4 * N >> 20} MB, upload + kernel + read-back each:")
+    print(f"  FIFO issue (overlap off):   {t_fifo * 1e3:7.3f} ms")
+    print(
+        f"  SCHED_OVERLAP issue:        {t_overlap * 1e3:7.3f} ms "
+        f"({100 * (1 - t_overlap / t_fifo):.0f}% faster)"
+    )
+    busy = {
+        k: v.get("utilization", 0.0)
+        for k, v in sorted(report.items())
+        if k.startswith(("dev:", "link:")) and v.get("utilization", 0.0) > 0
+    }
+    print("\nresource utilization during the overlapped run:")
+    for k, u in busy.items():
+        print(f"  {k:24s} {100 * u:5.1f}%")
+    print(
+        "\nuploads prefetch ahead of compute and read-backs drain behind it; "
+        "results are bit-identical to FIFO issue."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -31,8 +31,13 @@ __all__ = ["SimCluster"]
 class SimCluster(SimNode):
     """A cluster bound to one engine, indistinguishable from a SimNode."""
 
-    def __init__(self, engine: SimEngine, cluster: ClusterSpec) -> None:
-        super().__init__(engine, cluster.flattened())
+    def __init__(
+        self,
+        engine: SimEngine,
+        cluster: ClusterSpec,
+        duplex_links: bool = False,
+    ) -> None:
+        super().__init__(engine, cluster.flattened(), duplex_links=duplex_links)
         self.cluster = cluster
         #: one NIC resource per non-root node
         self.nics: Dict[int, FifoResource] = {

@@ -32,6 +32,8 @@ __all__ = [
     "PREDICT_CONFIDENCE_ENV",
     "MAPPER_REPAIR_ENV",
     "MAPPER_REPAIR_THRESHOLD_ENV",
+    "SPLIT_ENV",
+    "SPLIT_GRANULARITY_ENV",
 ]
 
 #: SchedFlag value -> the (frozen) options instance it denotes.
@@ -72,6 +74,17 @@ MAPPER_REPAIR_ENV = "MULTICL_MAPPER_REPAIR"
 #: for the lost capacity (float >= 1.0, default 1.25); beyond it the
 #: scheduler falls back to a full re-solve.
 MAPPER_REPAIR_THRESHOLD_ENV = "MULTICL_MAPPER_REPAIR_THRESHOLD"
+
+#: Context-wide kill switch / opt-in for multi-device kernel splitting: all
+#: dynamically scheduled queues behave as if they carried ``SCHED_SPLIT``.
+#: Per-queue flags still opt individual queues in when this is unset.
+SPLIT_ENV = "MULTICL_SPLIT"
+
+#: Work-splitting granularity: each device's sub-range is rounded to a
+#: multiple of (its effective workgroup size in dim 0) × this factor
+#: (positive integer, default 1).  Coarser granularity trades balance
+#: precision for fewer, larger sub-transfers.
+SPLIT_GRANULARITY_ENV = "MULTICL_SPLIT_GRANULARITY"
 
 _TRUE_WORDS = frozenset({"1", "true", "yes", "on"})
 
@@ -124,6 +137,14 @@ class SchedulerConfig:
     #: Accept a repair only while its makespan stays within this factor of
     #: the capacity-scaled previous makespan (>= 1.0).
     repair_threshold: float = 1.25
+    #: Split every dynamically scheduled queue's kernel epochs across the
+    #: active devices (context-wide ``SCHED_SPLIT``).  Off by default —
+    #: splitting changes the issue plan, and individual queues opt in with
+    #: the flag.
+    split: bool = False
+    #: Sub-range rounding granularity in units of the per-device effective
+    #: workgroup size along dimension 0 (positive integer).
+    split_granularity: int = 1
 
     def with_(self, **kw) -> "SchedulerConfig":
         """Functional update helper."""
@@ -151,6 +172,24 @@ class SchedulerConfig:
         repair = os.environ.get(MAPPER_REPAIR_ENV)
         if repair is not None:
             cfg = cfg.with_(mapper_repair=repair.strip().lower() in _TRUE_WORDS)
+        split = os.environ.get(SPLIT_ENV)
+        if split is not None:
+            cfg = cfg.with_(split=split.strip().lower() in _TRUE_WORDS)
+        raw = os.environ.get(SPLIT_GRANULARITY_ENV)
+        if raw is not None:
+            try:
+                value = int(raw)
+                if value < 1:
+                    raise ValueError(raw)
+            except ValueError:
+                warnings.warn(
+                    f"ignoring invalid {SPLIT_GRANULARITY_ENV}={raw!r}: "
+                    f"expected a positive integer",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+            else:
+                cfg = cfg.with_(split_granularity=value)
         for env, attr in (
             (PREDICT_TOLERANCE_ENV, "predict_tolerance"),
             (PREDICT_CONFIDENCE_ENV, "predict_confidence"),
@@ -196,6 +235,8 @@ class ScheduleOptions:
     compute_bound: bool = False
     memory_bound: bool = False
     io_bound: bool = False
+    split: bool = False
+    overlap: bool = False
 
     @staticmethod
     def from_flags(flags: SchedFlag) -> "ScheduleOptions":
@@ -215,6 +256,8 @@ class ScheduleOptions:
             compute_bound=bool(flags & SchedFlag.SCHED_COMPUTE_BOUND),
             memory_bound=bool(flags & SchedFlag.SCHED_MEMORY_BOUND),
             io_bound=bool(flags & SchedFlag.SCHED_IO_BOUND),
+            split=bool(flags & SchedFlag.SCHED_SPLIT),
+            overlap=bool(flags & SchedFlag.SCHED_OVERLAP),
         )
         _OPTIONS_MEMO[key] = options
         return options

@@ -22,6 +22,7 @@ from repro.core.flags import CONFIG_PROPERTY_KEY, SchedulerConfig
 from repro.hardware.specs import NodeSpec
 from repro.ocl.context import Context
 from repro.ocl.enums import ContextProperty, ContextScheduler, SchedFlag
+from repro.ocl.overlap import OVERLAP_PROPERTY_KEY
 from repro.ocl.platform import Platform
 from repro.ocl.queue import CommandQueue
 from repro.sim.faults import FaultInjector, FaultPlan, FaultPolicy
@@ -176,6 +177,19 @@ class MultiCL:
         ``MULTICL_PREDICT`` environment variable (via
         :meth:`SchedulerConfig.from_env`); ``True``/``False`` override it
         and any passed ``config``.
+    overlap:
+        Overlap-aware pool issue (:mod:`repro.ocl.overlap`): every
+        scheduled in-order queue behaves as if it carried
+        ``SCHED_OVERLAP``, and the platform models each link as two
+        directional DMA engines.  ``None`` (the default) defers to the
+        ``MULTICL_OVERLAP`` environment variable; ``True``/``False``
+        override it.
+    split:
+        Multi-device kernel splitting (``SCHED_SPLIT`` for every
+        dynamically scheduled queue).  ``None`` (the default) defers to
+        the ``MULTICL_SPLIT`` environment variable (via
+        :meth:`SchedulerConfig.from_env`); ``True``/``False`` override it
+        and any passed ``config``.
     """
 
     def __init__(
@@ -188,8 +202,15 @@ class MultiCL:
         fault_policy: Optional[FaultPolicy] = None,
         sanitize: Optional[bool] = None,
         predict: Optional[bool] = None,
+        overlap: Optional[bool] = None,
+        split: Optional[bool] = None,
     ) -> None:
-        self.platform = Platform(node_spec, profile=True, profile_dir=profile_dir)
+        self.platform = Platform(
+            node_spec,
+            profile=True,
+            profile_dir=profile_dir,
+            duplex_links=overlap if overlap is not None else None,
+        )
         properties: Dict = {}
         if policy is not None:
             properties[ContextProperty.CL_CONTEXT_SCHEDULER] = policy
@@ -197,10 +218,16 @@ class MultiCL:
             config = (config or SchedulerConfig.from_env()).with_(
                 predict=bool(predict)
             )
+        if split is not None:
+            config = (config or SchedulerConfig.from_env()).with_(
+                split=bool(split)
+            )
         if config is not None:
             properties[CONFIG_PROPERTY_KEY] = config
         if sanitize is not None:
             properties[SANITIZE_PROPERTY_KEY] = bool(sanitize)
+        if overlap is not None:
+            properties[OVERLAP_PROPERTY_KEY] = bool(overlap)
         self.context: Context = self.platform.create_context(properties=properties)
         self._marks: List[float] = []
         self.fault_policy = fault_policy

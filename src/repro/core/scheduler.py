@@ -30,6 +30,7 @@ from repro.core.device_mapper import MapperError, MappingResult, optimal_mapping
 from repro.core.flags import CONFIG_PROPERTY_KEY, ScheduleOptions, SchedulerConfig
 from repro.core.kernel_profiler import KernelProfiler
 from repro.core.minikernel import transform_program
+from repro.core.split import plan_split
 from repro.hardware.specs import DeviceKind
 from repro.ocl.enums import ContextScheduler
 from repro.ocl.memory import HOST, Buffer
@@ -302,6 +303,34 @@ class AutoFitScheduler(MultiCLSchedulerBase):
         # *during* this pass (fault injection): map over the devices active
         # now, treating any device without a measurement as infeasible.
         devices = self._active_devices()
+        # Work-splitting (SCHED_SPLIT / config.split): a split queue's kernel
+        # epoch is partitioned across devices instead of mapped to one, so it
+        # leaves the cost matrix entirely.  Guarded by a cheap any() — the
+        # default path never pays for the option.
+        if self.config.split or any(
+            ScheduleOptions.from_flags(q.sched_flags).split for q in queues
+        ):
+            planned = [
+                q
+                for q in queues
+                if (
+                    self.config.split
+                    or ScheduleOptions.from_flags(q.sched_flags).split
+                )
+                and self._plan_split_epoch(q, epochs[q.name])
+            ]
+            if planned:
+                split_ids = {id(q) for q in planned}
+                queues = [q for q in queues if id(q) not in split_ids]
+                if not queues:
+                    # The whole pool splits: charge the mapping host cost
+                    # (the partition computation) and skip the solver.
+                    self.context.platform.engine.elapse(
+                        self.config.mapping_host_seconds,
+                        category="schedule",
+                        name="device-map",
+                    )
+                    return
         cost: Dict[str, Dict[str, float]] = {}
         for q in queues:
             # One epoch-buffer walk per queue for the whole sync pass; the
@@ -383,6 +412,51 @@ class AutoFitScheduler(MultiCLSchedulerBase):
             self._mapper_state = (key, cost, dict(preferred), result)
         self.last_mapping = result
         return result, "device-map"
+
+    def _plan_split_epoch(self, q: "CommandQueue", epoch) -> bool:
+        """Attach a :class:`~repro.core.split.SplitPlan` to every kernel of
+        ``q``'s pending epoch; returns whether the epoch was split.
+
+        All-or-nothing per epoch: if any kernel cannot split (global size
+        too small for two granularity-aligned shares, fewer than two
+        profiled devices), no command in the epoch is split and the queue
+        falls back to the ordinary single-device mapping.  Split shares are
+        proportional to the epoch's profiled per-device seconds; the queue
+        itself rebinds to the fastest device, which hosts the epoch's
+        non-kernel commands.  Per-device capacity for the streamed slices
+        is enforced at issue time (_issue_split_kernel), where the actual
+        slice sizes are known.
+        """
+        order = [
+            d
+            for d in self.device_order()
+            if math.isfinite(epoch.seconds.get(d, math.inf))
+            and epoch.seconds.get(d, 0.0) > 0
+        ]
+        if len(order) < 2:
+            return False
+        plans = []
+        for cmd in q.pending:
+            if not cmd.is_kernel:
+                continue
+            assert cmd.kernel is not None and cmd.launch is not None
+            plan = plan_split(
+                cmd.kernel,
+                cmd.launch,
+                order,
+                epoch.seconds,
+                granularity=self.config.split_granularity,
+            )
+            if plan is None:
+                return False
+            plans.append((cmd, plan))
+        if not plans:
+            return False
+        for cmd, plan in plans:
+            cmd.split_plan = plan
+        pos = {d: i for i, d in enumerate(order)}
+        q.rebind(min(order, key=lambda d: (epoch.seconds[d], pos[d])))
+        return True
 
     def _epoch_buffers(self, q: "CommandQueue") -> List[Buffer]:
         out: List[Buffer] = []

@@ -90,24 +90,50 @@ class SimDevice:
 
 
 class SimNode:
-    """A heterogeneous node bound to one engine."""
+    """A heterogeneous node bound to one engine.
 
-    def __init__(self, engine: SimEngine, spec: NodeSpec) -> None:
+    With ``duplex_links=True`` each physical link gets *two* FIFO resources
+    — ``link:<name>:h2d`` and ``link:<name>:d2h`` — modelling the separate
+    upload/download DMA engines of modern PCIe devices, so an H2D prefetch
+    and a D2H read-back can be in flight simultaneously (the hardware half
+    of transfer/compute overlap; the software half is
+    :mod:`repro.ocl.overlap`).  Off by default: the single shared resource
+    per link keeps traces and utilization reports bit-identical for every
+    existing workload.
+    """
+
+    def __init__(
+        self, engine: SimEngine, spec: NodeSpec, duplex_links: bool = False
+    ) -> None:
         self.engine = engine
         self.spec = spec
+        self.duplex_links = bool(duplex_links)
         self.devices: Dict[str, SimDevice] = {
             d.name: SimDevice(engine, d) for d in spec.devices
         }
         # Devices whose LinkSpec share a *name* share one physical link —
-        # one FIFO resource, so their transfers contend.  This is how
-        # sub-devices created by clCreateSubDevices keep sharing their
-        # parent's PCIe/DRAM path.
+        # one FIFO resource (per direction, if duplex), so their transfers
+        # contend.  This is how sub-devices created by clCreateSubDevices
+        # keep sharing their parent's PCIe/DRAM path.
         by_name: Dict[str, FifoResource] = {}
+        by_name_d2h: Dict[str, FifoResource] = {}
         self.links: Dict[str, FifoResource] = {}
+        #: D2H-direction resource per device (== links[dev] when simplex).
+        self.d2h_links: Dict[str, FifoResource] = {}
         for dev, link in spec.host_links.items():
             if link.name not in by_name:
-                by_name[link.name] = FifoResource(engine, f"link:{link.name}")
+                if self.duplex_links:
+                    by_name[link.name] = FifoResource(
+                        engine, f"link:{link.name}:h2d"
+                    )
+                    by_name_d2h[link.name] = FifoResource(
+                        engine, f"link:{link.name}:d2h"
+                    )
+                else:
+                    by_name[link.name] = FifoResource(engine, f"link:{link.name}")
+                    by_name_d2h[link.name] = by_name[link.name]
             self.links[dev] = by_name[link.name]
+            self.d2h_links[dev] = by_name_d2h[link.name]
 
     # ------------------------------------------------------------------
     # Lookup helpers
@@ -182,7 +208,7 @@ class SimNode:
         return self.engine.task(
             name=f"{name}:{device}->host",
             duration=duration,
-            resource=self.links[device],
+            resource=self.d2h_links[device],
             deps=list(deps or []),
             category=category,
             meta=info,

@@ -62,7 +62,9 @@ class SchedFlag(enum.IntFlag):
     the OpenCL default).  ``SCHED_AUTO_STATIC``/``SCHED_AUTO_DYNAMIC`` opt
     in, trading scheduling speed against optimality (Section V.B/V.C).
     The remaining flags select the scheduler *trigger* (epoch or explicit
-    region) and provide workload *hints*.
+    region) and provide workload *hints*.  Two capability flags go beyond
+    the paper: ``SCHED_SPLIT`` (multi-device NDRange splitting) and
+    ``SCHED_OVERLAP`` (transfer/compute overlap-aware issue).
     """
 
     SCHED_OFF = 0
@@ -81,6 +83,14 @@ class SchedFlag(enum.IntFlag):
     SCHED_IO_BOUND = 1 << 6
     #: Hint: memory-bandwidth bound.
     SCHED_MEMORY_BOUND = 1 << 7
+    #: Let the scheduler split one kernel epoch across several devices by
+    #: partitioning the NDRange into per-device sub-ranges (EngineCL-style
+    #: work-splitting).  Requires an automatic scheduling mode.
+    SCHED_SPLIT = 1 << 8
+    #: Overlap-aware issue: reorder independent commands of this queue so
+    #: transfers prefetch and copies run concurrently with kernels, instead
+    #: of strict FIFO issue order.
+    SCHED_OVERLAP = 1 << 9
 
     @property
     def is_auto(self) -> bool:
@@ -94,6 +104,14 @@ class SchedFlag(enum.IntFlag):
     @property
     def is_static(self) -> bool:
         return bool(self & SchedFlag.SCHED_AUTO_STATIC)
+
+    @property
+    def wants_split(self) -> bool:
+        return bool(self & SchedFlag.SCHED_SPLIT)
+
+    @property
+    def wants_overlap(self) -> bool:
+        return bool(self & SchedFlag.SCHED_OVERLAP)
 
 
 #: Aliases matching the paper's prose ("SCHED_AUTO", "SCHED_MEM_BOUND").

@@ -208,6 +208,34 @@ class Kernel:
         """Configuration actually used on ``device_name``."""
         return self.device_configs.get(device_name, launch)
 
+    def sub_range_config(
+        self,
+        device_name: str,
+        launch: WorkGroupConfig,
+        lo: int,
+        hi: int,
+    ) -> WorkGroupConfig:
+        """Launch configuration for the ``[lo, hi)`` slice of dimension 0.
+
+        Used by multi-device work-splitting: the sub-range keeps the full
+        extent in dimensions 1+, inherits the device's effective local size
+        (per-device override included), and clips it to the slice so tiny
+        shares remain valid configurations.
+        """
+        if not 0 <= lo < hi <= launch.global_size[0]:
+            raise InvalidValue(
+                f"kernel {self.name!r}: sub-range [{lo}:{hi}) outside "
+                f"global dimension 0 of {launch.global_size}"
+            )
+        base = self.effective_config(device_name, launch)
+        global_size = (hi - lo,) + tuple(launch.global_size[1:])
+        local = tuple(
+            base.local_size[i] if i < len(base.local_size) else 1
+            for i in range(len(global_size))
+        )
+        local = tuple(min(l, g) for l, g in zip(local, global_size))
+        return WorkGroupConfig.normalize(global_size, local)
+
     # ------------------------------------------------------------------
     # Cost and functional payload
     # ------------------------------------------------------------------
@@ -228,6 +256,11 @@ class Kernel:
         cost model.
         """
         config = self.effective_config(spec.name, launch)
+        return self.config_cost(spec, config)
+
+    def config_cost(self, spec: DeviceSpec, config: WorkGroupConfig) -> KernelCost:
+        """Cost for an explicit configuration, bypassing the per-device
+        override (work-splitting costs sub-ranges that already honoured it)."""
         if self._cost_model is not None:
             return self._cost_model(spec, config, self.args)
         return self._annotation_cost(config)

@@ -41,8 +41,17 @@ class Platform:
         node_spec: Optional[NodeSpec] = None,
         profile: bool = True,
         profile_dir: Optional[str] = None,
+        duplex_links: Optional[bool] = None,
     ) -> None:
         self.engine = SimEngine()
+        if duplex_links is None:
+            # Overlap-aware contexts need independent upload/download DMA
+            # engines to actually overlap; resolve from the same env opt-in.
+            from repro.ocl.overlap import overlap_enabled_from_env
+
+            duplex_links = overlap_enabled_from_env()
+        #: separate per-direction link resources (see SimNode.duplex_links)
+        self.duplex_links = bool(duplex_links)
         # A ClusterSpec (SnuCL cluster mode) binds through SimCluster but
         # exposes the same interface; everything above is agnostic.
         self._cluster_spec = None
@@ -50,11 +59,13 @@ class Platform:
             from repro.cluster.topology import SimCluster
 
             self._cluster_spec = node_spec
-            self.node = SimCluster(self.engine, node_spec)  # type: ignore[arg-type]
+            self.node = SimCluster(  # type: ignore[arg-type]
+                self.engine, node_spec, duplex_links=self.duplex_links
+            )
             self.spec = self.node.spec
         else:
             self.spec = node_spec if node_spec is not None else aji_cluster15_node()
-            self.node = SimNode(self.engine, self.spec)
+            self.node = SimNode(self.engine, self.spec, duplex_links=self.duplex_links)
         self.name = f"MultiCL simulated platform ({self.spec.name})"
         self.vendor = "repro"
         self._device_profile = None
@@ -166,12 +177,14 @@ class Platform:
                 nodes=(new_root,) + tuple(cluster.nodes[1:]),
                 nic=cluster.nic,
             )
-            self.node = SimCluster(self.engine, self._cluster_spec)
+            self.node = SimCluster(
+                self.engine, self._cluster_spec, duplex_links=self.duplex_links
+            )
             self.spec = self.node.spec
         else:
             new_spec, sub_names = fission_node_spec(self.spec, device_name, count)
             self.spec = new_spec
-            self.node = SimNode(self.engine, new_spec)
+            self.node = SimNode(self.engine, new_spec, duplex_links=self.duplex_links)
         self.name = f"MultiCL simulated platform ({self.spec.name})"
         self._device_profile = None  # configuration changed: re-profile
         return [self.node.device(n) for n in sub_names]
@@ -196,6 +209,14 @@ def get_platforms(
     node_spec: Optional[NodeSpec] = None,
     profile: bool = True,
     profile_dir: Optional[str] = None,
+    duplex_links: Optional[bool] = None,
 ) -> List[Platform]:
     """clGetPlatformIds: one simulated platform per call."""
-    return [Platform(node_spec, profile=profile, profile_dir=profile_dir)]
+    return [
+        Platform(
+            node_spec,
+            profile=profile,
+            profile_dir=profile_dir,
+            duplex_links=duplex_links,
+        )
+    ]

@@ -31,6 +31,7 @@ buffers are undefined.
 from __future__ import annotations
 
 import itertools
+import warnings
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
 
@@ -58,6 +59,42 @@ _queue_ids = itertools.count(0)
 _AUTO_MASK = (SchedFlag.SCHED_AUTO_STATIC | SchedFlag.SCHED_AUTO_DYNAMIC).value
 _EXPLICIT_REGION_MASK = SchedFlag.SCHED_EXPLICIT_REGION.value
 
+#: Flag values already warned about as contradictory (warn once per value,
+#: mirroring MULTICL_MAPPER_EXACT_MAX_QUEUES's warn-once pattern — queue
+#: creation sits on workload hot paths).
+_warned_flag_values: set = set()
+
+
+def _check_flag_hygiene(flags: SchedFlag) -> None:
+    """Warn once per flag value on contradictory SCHED_* combinations.
+
+    ``SCHED_SPLIT`` and ``SCHED_OVERLAP`` are capabilities of the automatic
+    scheduler: without ``SCHED_AUTO_*`` (which also covers the literal
+    ``SCHED_OFF | SCHED_SPLIT``, since ``SCHED_OFF`` is the empty set) the
+    flag can never take effect, which is almost certainly a bug in the
+    caller's flag arithmetic.
+    """
+    if flags.is_auto or flags.value in _warned_flag_values:
+        return
+    dead = [
+        name
+        for name, bit in (
+            ("SCHED_SPLIT", SchedFlag.SCHED_SPLIT),
+            ("SCHED_OVERLAP", SchedFlag.SCHED_OVERLAP),
+        )
+        if flags & bit
+    ]
+    if not dead:
+        return
+    _warned_flag_values.add(flags.value)
+    warnings.warn(
+        f"contradictory scheduling flags {flags!r}: {'/'.join(dead)} "
+        f"requires SCHED_AUTO_STATIC or SCHED_AUTO_DYNAMIC and will never "
+        f"take effect on a manually scheduled queue",
+        RuntimeWarning,
+        stacklevel=3,
+    )
+
 
 @dataclass
 class Command:
@@ -82,6 +119,9 @@ class Command:
     attempts: int = 0
     #: task of the aborted incarnation awaiting adoption by the replay
     aborted_task: Optional[Any] = None
+    #: multi-device work-splitting plan attached by the scheduler
+    #: (:class:`repro.core.split.SplitPlan`); ``None`` = unsplit launch
+    split_plan: Optional[Any] = None
 
     @property
     def is_kernel(self) -> bool:
@@ -163,6 +203,7 @@ class CommandQueue:
         #: Current device binding (may be rebound by the scheduler).
         self.device = device_name
         self.sched_flags = sched_flags
+        _check_flag_hygiene(sched_flags)
         #: Explicit-region state: scheduling active inside start/stop marks.
         self.region_active = False
         #: Deferred commands awaiting a scheduler trigger.
@@ -216,6 +257,7 @@ class CommandQueue:
                     "cannot start a scheduling region without a context scheduler"
                 )
             self.sched_flags |= flags
+            _check_flag_hygiene(self.sched_flags)
             if not self.region_active:
                 self.region_active = True
                 scheduler.on_region_start(self)
@@ -387,8 +429,22 @@ class CommandQueue:
     # ------------------------------------------------------------------
     # Issue path (runs once the queue is bound to a device)
     # ------------------------------------------------------------------
-    def issue(self, cmd: Command) -> None:
-        """Issue one command to the queue's current device."""
+    def issue(
+        self,
+        cmd: Command,
+        ordering_deps: Optional[List["SimTask"]] = None,
+        extra_deps: Optional[List["SimTask"]] = None,
+    ) -> None:
+        """Issue one command to the queue's current device.
+
+        ``ordering_deps`` (overlap-aware issue, :mod:`repro.ocl.overlap`)
+        *replaces* the implicit in-order tail / out-of-order barrier
+        chaining with an explicit dependency list, and leaves ``_tail``
+        untouched — the overlap issuer installs a per-epoch join task
+        instead.  ``extra_deps`` *adds* dependencies on top of the normal
+        chaining (used to restore cross-queue conflict ordering whose
+        original happens-before path ran through a relaxed queue).
+        """
         if cmd.issued:
             raise InvalidCommandQueue(f"command {cmd.kind} issued twice")
         if not cmd.deps_ready():
@@ -403,7 +459,11 @@ class CommandQueue:
         node = self.context.platform.node
         engine = self.context.platform.engine
         deps: List["SimTask"] = [e.task for e in cmd.wait_events if e.task is not None]
-        if self.out_of_order:
+        if extra_deps:
+            deps.extend(extra_deps)
+        if ordering_deps is not None:
+            deps.extend(ordering_deps)
+        elif self.out_of_order:
             # Only barriers impose intra-queue order.
             if self._barrier is not None:
                 deps.append(self._barrier)
@@ -412,7 +472,10 @@ class CommandQueue:
 
         if cmd.kind is CommandKind.NDRANGE_KERNEL:
             # First branch: kernels dominate every scheduled workload.
-            task = self._issue_kernel(cmd, deps)
+            if cmd.split_plan is not None:
+                task = self._issue_split_kernel(cmd, deps)
+            else:
+                task = self._issue_kernel(cmd, deps)
         elif cmd.kind is CommandKind.WRITE_BUFFER:
             assert cmd.buffer is not None
             self._check_capacity(cmd.buffer, extra=(cmd.buffer,))
@@ -477,7 +540,8 @@ class CommandQueue:
             # Replay: waiters of the aborted incarnation follow this task.
             engine.adopt(cmd.aborted_task, task)
             cmd.aborted_task = None
-        self._tail = task
+        if ordering_deps is None:
+            self._tail = task
         self._outstanding.append(task)
         self._inflight.append(cmd)
 
@@ -517,6 +581,126 @@ class CommandQueue:
             buf.mark_exclusive(self.device)
         del config  # config folded into cost via launch_cost
         return task
+
+    def _issue_split_kernel(self, cmd: Command, deps: List["SimTask"]) -> "SimTask":
+        """Issue one kernel split across several devices per ``cmd.split_plan``.
+
+        Dimension 0 of the NDRange is partitioned into contiguous per-device
+        sub-ranges.  Each device receives the *slices* of the argument
+        buffers its sub-range touches (implied sub-buffers, modelled as
+        proportional byte-ranged transfers that deliberately do **not** flip
+        whole-buffer residency — only a slice moved), runs a sub-range
+        launch costed with its own effective workgroup configuration, and
+        streams written slices back to the host where the partial results
+        merge.  A zero-duration join task stands for the merged completion;
+        the command's event binds to it, so downstream consumers observe
+        exactly one kernel-completion point, bit-identical to the unsplit
+        execution (the functional payload runs once, on the host, over the
+        full range).
+        """
+        kernel = cmd.kernel
+        launch = cmd.launch
+        plan = cmd.split_plan
+        assert kernel is not None and launch is not None and plan is not None
+        node = self.context.platform.node
+        engine = self.context.platform.engine
+        total = launch.global_size[0]
+        seen: Dict[int, Buffer] = {}
+        for v in cmd.args_snapshot.values():
+            if isinstance(v, Buffer) and id(v) not in seen:
+                seen[id(v)] = v
+        buffers = list(seen.values())
+        written = self._written_buffers(kernel, cmd.args_snapshot)
+        written = list({id(b): b for b in written}.values())
+        finals: List["SimTask"] = []
+        for device, lo, hi in plan.shares:
+            share = hi - lo
+            if share <= 0:
+                continue
+            if not self.context.platform.is_available(device):
+                raise DeviceNotAvailable(
+                    f"queue {self.name!r}: split share [{lo}:{hi}) targets "
+                    f"failed device {device!r}"
+                )
+            dev = node.device(device)
+
+            def slice_bytes(buf: Buffer) -> int:
+                # ceil(nbytes * share / total), capped at the full buffer
+                return min(buf.nbytes, -(-buf.nbytes * share // total))
+
+            incoming = sum(
+                slice_bytes(b) for b in buffers if not b.resident_on(device)
+            )
+            needed = self.context.resident_bytes(device) + incoming
+            if needed > dev.spec.mem_size_bytes:
+                raise MemAllocationFailure(
+                    f"device {device!r}: {needed} bytes needed for split "
+                    f"share [{lo}:{hi}), {dev.spec.mem_size_bytes} available"
+                )
+            moves: List["SimTask"] = []
+            for b in buffers:
+                if not b.initialized or b.is_valid_on(device):
+                    continue
+                nb = slice_bytes(b)
+                label = f"split:{b.name}[{lo}:{hi}]"
+                if b.is_valid_on(HOST):
+                    moves.append(
+                        node.submit_h2d(
+                            device, nb, deps=deps, category="migration",
+                            name=label, meta=self._tenant_meta,
+                        )
+                    )
+                else:
+                    src = b.any_valid_device()
+                    assert src is not None
+                    moves.append(
+                        node.submit_d2d(
+                            src, device, nb, deps=deps, category="migration",
+                            name=label, meta=self._tenant_meta,
+                        )
+                    )
+            sub = kernel.sub_range_config(device, launch, lo, hi)
+            cost = kernel.config_cost(dev.spec, sub)
+            meta: Dict[str, Any] = {
+                "queue": self.name,
+                "epoch": self.epoch_index,
+                "split": f"{lo}:{hi}",
+            }
+            if self._tenant_meta is not None:
+                meta.update(self._tenant_meta)
+            sub_task = dev.submit_kernel(
+                name=f"{kernel.name}[{lo}:{hi}]",
+                cost=cost,
+                deps=deps + moves,
+                category="kernel",
+                meta=meta,
+            )
+            gathers = [
+                node.submit_d2h(
+                    device, slice_bytes(b), deps=[sub_task], category="transfer",
+                    name=f"gather:{b.name}[{lo}:{hi}]", meta=self._tenant_meta,
+                )
+                for b in written
+            ]
+            finals.extend(gathers or [sub_task])
+        join = engine.task(
+            name=f"split-join:{kernel.name}@{self.name}",
+            duration=0.0,
+            deps=finals,
+            category="marker",
+        )
+        # Functional payload: once, over the full range (see _issue_kernel).
+        if cmd.attempts == 0:
+            saved = kernel.args
+            kernel.args = cmd.args_snapshot
+            try:
+                kernel.run_host_function()
+            finally:
+                kernel.args = saved
+        # Merged results live on the host after the gather transfers.
+        for buf in written:
+            buf.mark_exclusive(HOST)
+        return join
 
     @staticmethod
     def _written_buffers(kernel: Kernel, snapshot: Dict[int, Any]) -> List[Buffer]:

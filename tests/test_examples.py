@@ -31,6 +31,7 @@ EXPECTED = {
     "predicted_scheduling.py": "profiling measurements eliminated: True",
     "replay_demo.py": "sharded replay bit-identical to serial: True",
     "sanitizer_demo.py": "fixed pipeline findings: 0",
+    "streaming_overlap.py": "% faster",
 }
 
 
